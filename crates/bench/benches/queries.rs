@@ -1,0 +1,64 @@
+//! End-to-end wall-clock query execution through the full MapReduce stack
+//! (real time of this implementation, not simulated cluster time):
+//! Clydesdale vs both Hive plans on representative SSB queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_hive::{Hive, JoinStrategy};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::loader::{self, SsbLayout};
+use clyde_ssb::query_by_id;
+use clydesdale::Clydesdale;
+use std::sync::Arc;
+
+fn setup() -> (Arc<Dfs>, SsbLayout) {
+    let dfs = Dfs::new(
+        ClusterSpec::tiny(4),
+        DfsOptions {
+            block_size: 8 << 20,
+            replication: 2,
+            policy: Box::new(ColocatingPlacement),
+        },
+    );
+    let layout = SsbLayout::default();
+    loader::load(
+        &dfs,
+        SsbGen::new(0.01, 46),
+        &layout,
+        &loader::LoadOpts {
+            rows_per_group: 10_000,
+            cif: true,
+            rcfile: true,
+            text: false,
+        },
+    )
+    .expect("load");
+    (dfs, layout)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (dfs, layout) = setup();
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout.clone());
+    clyde.warm_dimension_cache().expect("warm");
+    let mapjoin = Hive::new(Arc::clone(&dfs), layout.clone(), JoinStrategy::MapJoin);
+    let repart = Hive::new(Arc::clone(&dfs), layout, JoinStrategy::Repartition);
+
+    let mut group = c.benchmark_group("queries_sf0.01");
+    group.sample_size(10);
+    for id in ["Q1.1", "Q2.1", "Q4.3"] {
+        let q = query_by_id(id).unwrap();
+        group.bench_function(BenchmarkId::new("clydesdale", id), |b| {
+            b.iter(|| clyde.query(&q).unwrap().rows.len());
+        });
+        group.bench_function(BenchmarkId::new("hive_mapjoin", id), |b| {
+            b.iter(|| mapjoin.query(&q).unwrap().rows.len());
+        });
+        group.bench_function(BenchmarkId::new("hive_repartition", id), |b| {
+            b.iter(|| repart.query(&q).unwrap().rows.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Real wall-clock scan throughput of the storage formats (this library's
+//! own performance, complementing the simulated figures): CIF projected vs
+//! CIF all-columns vs RCFile vs text, over the same SSB fact data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use clyde_columnar::{CifReader, RcFileReader, TextInputFormat};
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_mapred::{InputFormat, JobConf, Reader, TaskIo};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::loader::{self, SsbLayout};
+use clyde_ssb::schema;
+use std::sync::Arc;
+
+const ROWS: u64 = 120_000; // SF 0.02
+
+fn setup() -> (Arc<Dfs>, SsbLayout) {
+    let dfs = Dfs::new(
+        ClusterSpec::tiny(2),
+        DfsOptions {
+            block_size: 8 << 20,
+            replication: 1,
+            policy: Box::new(ColocatingPlacement),
+        },
+    );
+    let layout = SsbLayout::default();
+    loader::load(
+        &dfs,
+        SsbGen::new(ROWS as f64 / 6_000_000.0, 46),
+        &layout,
+        &loader::LoadOpts {
+            rows_per_group: 20_000,
+            cif: true,
+            rcfile: true,
+            text: true,
+        },
+    )
+    .expect("load");
+    (dfs, layout)
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let (dfs, layout) = setup();
+    let q21_cols = ["lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"];
+
+    let mut group = c.benchmark_group("scan_formats");
+    group.throughput(Throughput::Elements(ROWS));
+
+    group.bench_function(BenchmarkId::new("cif", "4-of-17-columns"), |b| {
+        let reader = CifReader::open(&dfs, &layout.fact_cif()).unwrap();
+        let cols: Vec<usize> = q21_cols
+            .iter()
+            .map(|c| reader.column_index(c).unwrap())
+            .collect();
+        b.iter(|| {
+            let io = TaskIo::client(Arc::clone(&dfs));
+            let mut sum = 0i64;
+            for g in 0..reader.meta().num_groups() {
+                let blk = reader.read_group(&io, g, &cols).unwrap();
+                for &v in blk.column(3).as_i32() {
+                    sum += i64::from(v);
+                }
+            }
+            sum
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("cif", "all-17-columns"), |b| {
+        let reader = CifReader::open(&dfs, &layout.fact_cif()).unwrap();
+        b.iter(|| {
+            let io = TaskIo::client(Arc::clone(&dfs));
+            let mut rows = 0usize;
+            for g in 0..reader.meta().num_groups() {
+                let blk = reader.read_group_all(&io, g).unwrap();
+                rows += blk.len();
+            }
+            rows
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("rcfile", "4-of-17-columns"), |b| {
+        let reader = RcFileReader::open(&dfs, &layout.table_rc(schema::LINEORDER)).unwrap();
+        let cols: Vec<usize> = q21_cols
+            .iter()
+            .map(|c| reader.schema().index_of(c).unwrap())
+            .collect();
+        b.iter(|| {
+            let io = TaskIo::client(Arc::clone(&dfs));
+            let mut sum = 0i64;
+            for g in 0..reader.meta().num_groups() {
+                let blk = reader.read_group(&io, g, &cols).unwrap();
+                for &v in blk.column(3).as_i32() {
+                    sum += i64::from(v);
+                }
+            }
+            sum
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("text", "parse-all-columns"), |b| {
+        let fmt = TextInputFormat::new(
+            layout.table_text(schema::LINEORDER),
+            schema::lineorder_schema(),
+        );
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        b.iter(|| {
+            let io = TaskIo::client(Arc::clone(&dfs));
+            let mut rows = 0usize;
+            for s in &splits {
+                let Reader::Rows(mut r) = fmt.open(s, 0, &io).unwrap() else {
+                    unreachable!("text yields rows")
+                };
+                while let Some(_) = r.next().unwrap() {
+                    rows += 1;
+                }
+            }
+            rows
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

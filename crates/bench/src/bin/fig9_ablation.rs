@@ -1,0 +1,107 @@
+//! Figure 9 / Section 6.5 — the feature ablation on cluster A, SF1000.
+//!
+//! Runs Clydesdale with each technique disabled (block iteration, columnar
+//! storage, multi-threaded tasks), validating that results never change,
+//! and reports the slowdown each ablation causes per query and per flight.
+//!
+//! Paper's findings to reproduce: block iteration off ≈ 1.2x; columnar off
+//! ≈ 3.4x average (flight 2 ≈ 3.8x, flight 4 ≈ 2.0x); multithreading off
+//! ≈ 2.4x average (flight 1 ≈ 1.2x, flight 4 ≈ 4.5x).
+
+use clyde_bench::harness::{
+    measure, Ablation, Extrapolator, MeasureWhat, MeasurementConfig,
+};
+use clyde_bench::paper;
+use clyde_bench::report::{render_table, speedup};
+use clyde_dfs::ClusterSpec;
+
+fn main() {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.02);
+    let config = MeasurementConfig {
+        sf,
+        ..MeasurementConfig::default()
+    };
+    eprintln!(
+        "measuring all 13 SSB queries at SF {sf} under 4 feature configurations, validating results..."
+    );
+    let m = measure(
+        &config,
+        MeasureWhat {
+            hive: false,
+            ablations: true,
+        },
+    )
+    .expect("measurement failed");
+    let ex = Extrapolator::new(ClusterSpec::cluster_a(), 1000.0, &m);
+
+    let ablations = [
+        Ablation::NoBlockIteration,
+        Ablation::NoColumnar,
+        Ablation::NoMultithreading,
+    ];
+    let mut rows = Vec::new();
+    // slowdown sums per (ablation, flight)
+    let mut flight_sum = [[0.0f64; 5]; 3];
+    let mut flight_n = [[0usize; 5]; 3];
+    for qm in &m.queries {
+        let base = ex.clyde_time(qm).expect("baseline never OOMs");
+        let mut cells = vec![qm.query.id.clone(), clyde_bench::report::secs(base)];
+        let flight = paper::flight_of(&qm.query.id);
+        for (ai, ab) in ablations.iter().enumerate() {
+            let t = ex.ablation_time(qm, *ab).expect("ablations never OOM");
+            let slowdown = t / base;
+            cells.push(speedup(slowdown));
+            flight_sum[ai][flight] += slowdown;
+            flight_n[ai][flight] += 1;
+        }
+        rows.push(cells);
+    }
+
+    println!("\nFigure 9: feature ablation, cluster A, SF1000 (slowdown vs all features on)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "query",
+                "baseline",
+                "block-iter off",
+                "columnar off",
+                "multithreading off",
+            ],
+            &rows,
+        )
+    );
+
+    println!("per-flight average slowdowns:");
+    let labels = ["block iteration off", "columnar off", "multithreading off"];
+    for (ai, label) in labels.iter().enumerate() {
+        let mut parts = Vec::new();
+        let mut total = 0.0;
+        let mut n = 0;
+        for f in 1..=4 {
+            if flight_n[ai][f] > 0 {
+                let avg = flight_sum[ai][f] / flight_n[ai][f] as f64;
+                parts.push(format!("flight{f} {avg:.1}x"));
+                total += flight_sum[ai][f];
+                n += flight_n[ai][f];
+            }
+        }
+        println!("  {label:<22} {}  overall {:.1}x", parts.join("  "), total / n as f64);
+    }
+    println!("\npaper reports: block iteration off ≈ {:.1}x;", paper::ablation::BLOCK_ITERATION_AVG);
+    println!(
+        "               columnar off ≈ {:.1}x avg (flight2 {:.1}x, flight4 {:.1}x);",
+        paper::ablation::COLUMNAR_AVG,
+        paper::ablation::COLUMNAR_FLIGHT2,
+        paper::ablation::COLUMNAR_FLIGHT4
+    );
+    println!(
+        "               multithreading off ≈ {:.1}x avg (flight1 {:.1}x, flight4 {:.1}x)",
+        paper::ablation::MULTITHREADING_AVG,
+        paper::ablation::MULTITHREADING_FLIGHT1,
+        paper::ablation::MULTITHREADING_FLIGHT4
+    );
+}

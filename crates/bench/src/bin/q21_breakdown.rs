@@ -1,0 +1,132 @@
+//! Section 6.3's Q2.1 breakdown on cluster A, SF1000.
+//!
+//! The paper dissects query 2.1: Clydesdale took 215 s (27 s building the
+//! three dimension hash tables, 164 s scanning/probing 10.8 GB per node at
+//! 67 MB/s, <10 s final sort), while Hive's five-stage mapjoin plan took
+//! 15,142 s (2,640 / 2,040 / 9,180 / 720 / 19 s) and the repartition plan
+//! 17,700 s. This binary prints the same decomposition from the
+//! reproduction's cost model.
+
+use clyde_bench::harness::{measure, Extrapolator, MeasureWhat, MeasurementConfig};
+use clyde_bench::paper::cluster_a::q21;
+use clyde_bench::report::{render_table, secs};
+use clyde_dfs::ClusterSpec;
+use clyde_hive::JoinStrategy;
+
+fn main() {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.02);
+    let config = MeasurementConfig {
+        sf,
+        ..MeasurementConfig::default()
+    };
+    eprintln!("measuring Q2.1 (and the other 12 queries) at SF {sf}...");
+    let m = measure(
+        &config,
+        MeasureWhat {
+            hive: true,
+            ablations: false,
+        },
+    )
+    .expect("measurement failed");
+    let cluster = ClusterSpec::cluster_a();
+    let ex = Extrapolator::new(cluster.clone(), 1000.0, &m);
+    let qm = m
+        .queries
+        .iter()
+        .find(|q| q.query.id == "Q2.1")
+        .expect("Q2.1 measured");
+
+    // ---- Clydesdale side. ----
+    let e = ex.extrapolate_one_per_node(&qm.query, &qm.clyde);
+    let params = &ex.params;
+    let task = &e.map_tasks[0].cost;
+    let build_s = task.build_rows as f64 / params.build_rows_per_s;
+    let scan_gb = (task.local_bytes + task.remote_bytes) as f64 / (1u64 << 30) as f64;
+    let bw = params.hdfs.effective_read_bw(&cluster.node);
+    let scan_s = (task.local_bytes + task.remote_bytes) as f64 / bw;
+    let cost = e.price(params, &cluster).expect("clydesdale fits in memory");
+    let total = ex.clyde_time(qm).unwrap();
+
+    println!("\n=== Q2.1 on cluster A, SF1000 ===\n");
+    println!("Clydesdale (one multi-threaded map task per node):");
+    println!(
+        "{}",
+        render_table(
+            &["component", "this repro", "paper"],
+            &[
+                vec![
+                    "hash-table build (per node)".into(),
+                    secs(build_s),
+                    secs(q21::CLYDE_BUILD_S),
+                ],
+                vec![
+                    format!("scan+probe ({scan_gb:.1} GB/node)"),
+                    secs(scan_s),
+                    secs(q21::CLYDE_PROBE_S),
+                ],
+                vec![
+                    "per-node scan rate".into(),
+                    format!("{:.0} MB/s", bw / (1 << 20) as f64),
+                    format!("{:.0} MB/s", q21::CLYDE_SCAN_MB_S),
+                ],
+                vec![
+                    "reduce + final sort + overhead".into(),
+                    secs(total - build_s - scan_s),
+                    format!("<{}s + overhead", q21::CLYDE_SORT_S_MAX),
+                ],
+                vec!["TOTAL".into(), secs(total), secs(q21::CLYDE_TOTAL_S)],
+            ],
+        )
+    );
+    let _ = cost;
+
+    // ---- Hive mapjoin stages. ----
+    println!("Hive mapjoin plan (five stages):");
+    let stage_names = [
+        "join date",
+        "join part",
+        "join supplier",
+        "group by",
+        "order by",
+    ];
+    let mut rows = Vec::new();
+    let mut our_total = 0.0;
+    for (i, name) in stage_names.iter().enumerate() {
+        let t = ex
+            .hive_stage_time(&m, qm, JoinStrategy::MapJoin, i)
+            .expect("mapjoin Q2.1 fits on A");
+        our_total += t;
+        rows.push(vec![
+            (*name).to_string(),
+            secs(t),
+            secs(q21::HIVE_MAPJOIN_STAGES_S[i]),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        secs(our_total),
+        secs(q21::HIVE_MAPJOIN_TOTAL_S),
+    ]);
+    println!(
+        "{}",
+        render_table(&["stage", "this repro", "paper"], &rows)
+    );
+
+    // ---- Hive repartition. ----
+    let rp = ex.hive_time(&m, qm, JoinStrategy::Repartition).unwrap();
+    println!(
+        "Hive repartition plan: {} (paper: {})",
+        secs(rp),
+        secs(q21::HIVE_REPART_TOTAL_S)
+    );
+    println!(
+        "\nspeedups: vs mapjoin {:.1}x (paper {:.1}x), vs repartition {:.1}x (paper {:.1}x)",
+        our_total / total,
+        q21::HIVE_MAPJOIN_TOTAL_S / q21::CLYDE_TOTAL_S,
+        rp / total,
+        q21::HIVE_REPART_TOTAL_S / q21::CLYDE_TOTAL_S
+    );
+}

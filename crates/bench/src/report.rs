@@ -1,0 +1,81 @@
+//! Plain-text table rendering for the figure binaries.
+
+/// Render an aligned text table: header row + data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            // Right-align numbers (cells that parse as a float), left-align text.
+            if c.parse::<f64>().is_ok() || c.ends_with('x') || c.ends_with('s') {
+                line.push_str(&format!("{c:>width$}", width = widths[i]));
+            } else {
+                line.push_str(&format!("{c:<width$}", width = widths[i]));
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// `"123.4s"` / `"17.4x"` style numbers.
+pub fn secs(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}s")
+    } else {
+        format!("{v:.1}s")
+    }
+}
+
+pub fn speedup(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["query", "time"],
+            &[
+                vec!["Q1.1".into(), "12.5s".into()],
+                vec!["Q10.10".into(), "3.0s".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("query"));
+        assert!(lines[2].contains("Q1.1"));
+        // Numeric column right-aligned: both time cells end at same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(secs(15142.3), "15142s");
+        assert_eq!(secs(21.46), "21.5s");
+        assert_eq!(speedup(38.04), "38.0x");
+    }
+}

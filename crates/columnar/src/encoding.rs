@@ -1,0 +1,436 @@
+//! Column encodings: plain, dictionary, and run-length.
+//!
+//! Each encoded column is a self-describing chunk:
+//!
+//! ```text
+//! [dtype tag: u8][encoding tag: u8][row count: varint]
+//! [payload ...]
+//! [checksum: u64 LE over everything before it]
+//! ```
+//!
+//! The binary encoding is what shrinks the paper's 600 GB text fact table to
+//! ~334 GB in Multi-CIF format (Section 6.2); the checksum stands in for
+//! HDFS's block checksums.
+
+use clyde_common::hash::FxHasher;
+use clyde_common::{varint, ClydeError, ColumnData, DatumType, FxHashMap, Result};
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Available encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Fixed-width little-endian values; strings as varint-length + bytes.
+    Plain,
+    /// Distinct values in a dictionary, data as varint codes. Best for the
+    /// low-cardinality strings of SSB dimensions (regions, nations, brands).
+    Dict,
+    /// (varint run length, value) pairs. Best for near-constant columns.
+    Rle,
+}
+
+impl Encoding {
+    fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Dict => 1,
+            Encoding::Rle => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Encoding> {
+        match t {
+            0 => Some(Encoding::Plain),
+            1 => Some(Encoding::Dict),
+            2 => Some(Encoding::Rle),
+            _ => None,
+        }
+    }
+}
+
+/// Pick a reasonable encoding for a column by sampling its content: strings
+/// with few distinct values dictionary-encode; heavily repeated values
+/// run-length-encode; everything else stays plain.
+pub fn choose_encoding(col: &ColumnData) -> Encoding {
+    let n = col.len();
+    if n < 16 {
+        return Encoding::Plain;
+    }
+    match col {
+        ColumnData::Str(v) => {
+            let mut distinct: FxHashMap<&str, ()> = FxHashMap::default();
+            for s in v.iter().take(1024) {
+                distinct.insert(s.as_ref(), ());
+            }
+            if distinct.len() * 2 < v.len().min(1024) {
+                Encoding::Dict
+            } else {
+                Encoding::Plain
+            }
+        }
+        ColumnData::I32(v) => {
+            let runs = count_runs(v.iter().take(1024));
+            if runs * 4 < v.len().min(1024) {
+                Encoding::Rle
+            } else {
+                Encoding::Plain
+            }
+        }
+        ColumnData::I64(v) => {
+            let runs = count_runs(v.iter().take(1024));
+            if runs * 4 < v.len().min(1024) {
+                Encoding::Rle
+            } else {
+                Encoding::Plain
+            }
+        }
+        ColumnData::F64(_) => Encoding::Plain,
+    }
+}
+
+fn count_runs<T: PartialEq>(mut iter: impl Iterator<Item = T>) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<T> = None;
+    for v in iter.by_ref() {
+        if prev.as_ref() != Some(&v) {
+            runs += 1;
+            prev = Some(v);
+        }
+    }
+    runs
+}
+
+fn checksum(data: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(data);
+    h.finish()
+}
+
+/// Encode a column with the given encoding.
+pub fn encode_column(col: &ColumnData, encoding: Encoding) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(col.len() * 4 + 16);
+    out.push(col.dtype().tag());
+    out.push(encoding.tag());
+    varint::write_u64(&mut out, col.len() as u64);
+    match (encoding, col) {
+        (Encoding::Plain, ColumnData::I32(v)) => {
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        (Encoding::Plain, ColumnData::I64(v)) => {
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        (Encoding::Plain, ColumnData::F64(v)) => {
+            for x in v {
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+        (Encoding::Plain, ColumnData::Str(v)) => {
+            for s in v {
+                varint::write_u64(&mut out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+        (Encoding::Dict, ColumnData::Str(v)) => {
+            let mut dict: Vec<&str> = Vec::new();
+            let mut codes: FxHashMap<&str, u64> = FxHashMap::default();
+            let mut encoded = Vec::with_capacity(v.len());
+            for s in v {
+                let code = *codes.entry(s.as_ref()).or_insert_with(|| {
+                    dict.push(s.as_ref());
+                    (dict.len() - 1) as u64
+                });
+                encoded.push(code);
+            }
+            varint::write_u64(&mut out, dict.len() as u64);
+            for entry in dict {
+                varint::write_u64(&mut out, entry.len() as u64);
+                out.extend_from_slice(entry.as_bytes());
+            }
+            for code in encoded {
+                varint::write_u64(&mut out, code);
+            }
+        }
+        (Encoding::Rle, ColumnData::I32(v)) => rle_encode(&mut out, v.iter().map(|&x| i64::from(x))),
+        (Encoding::Rle, ColumnData::I64(v)) => rle_encode(&mut out, v.iter().copied()),
+        (enc, col) => {
+            return Err(ClydeError::Format(format!(
+                "encoding {enc:?} does not support {} columns",
+                col.dtype()
+            )))
+        }
+    }
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    Ok(out)
+}
+
+fn rle_encode(out: &mut Vec<u8>, iter: impl Iterator<Item = i64>) {
+    let mut run: Option<(i64, u64)> = None;
+    for v in iter {
+        run = Some(match run {
+            Some((prev, count)) if prev == v => (prev, count + 1),
+            Some((prev, count)) => {
+                varint::write_u64(out, count);
+                varint::write_i64(out, prev);
+                let _ = prev;
+                let _ = count;
+                (v, 1)
+            }
+            None => (v, 1),
+        });
+    }
+    if let Some((prev, count)) = run {
+        varint::write_u64(out, count);
+        varint::write_i64(out, prev);
+    }
+}
+
+/// Decode a column chunk, verifying the checksum.
+pub fn decode_column(data: &[u8]) -> Result<ColumnData> {
+    if data.len() < 10 {
+        return Err(ClydeError::Format("column chunk too short".into()));
+    }
+    let (body, sum_bytes) = data.split_at(data.len() - 8);
+    let expected = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if checksum(body) != expected {
+        return Err(ClydeError::Format("column checksum mismatch".into()));
+    }
+    let dtype = DatumType::from_tag(body[0])
+        .ok_or_else(|| ClydeError::Format(format!("bad dtype tag {}", body[0])))?;
+    let encoding = Encoding::from_tag(body[1])
+        .ok_or_else(|| ClydeError::Format(format!("bad encoding tag {}", body[1])))?;
+    let mut pos = 2usize;
+    let n = varint::read_u64(body, &mut pos)? as usize;
+    match (encoding, dtype) {
+        (Encoding::Plain, DatumType::I32) => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(i32::from_le_bytes(take::<4>(body, &mut pos)?));
+            }
+            Ok(ColumnData::I32(v))
+        }
+        (Encoding::Plain, DatumType::I64) => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(i64::from_le_bytes(take::<8>(body, &mut pos)?));
+            }
+            Ok(ColumnData::I64(v))
+        }
+        (Encoding::Plain, DatumType::F64) => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(f64::from_bits(u64::from_le_bytes(take::<8>(body, &mut pos)?)));
+            }
+            Ok(ColumnData::F64(v))
+        }
+        (Encoding::Plain, DatumType::Str) => {
+            let mut v: Vec<Arc<str>> = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(read_str(body, &mut pos)?);
+            }
+            Ok(ColumnData::Str(v))
+        }
+        (Encoding::Dict, DatumType::Str) => {
+            let dict_len = varint::read_u64(body, &mut pos)? as usize;
+            let mut dict: Vec<Arc<str>> = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(read_str(body, &mut pos)?);
+            }
+            let mut v: Vec<Arc<str>> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let code = varint::read_u64(body, &mut pos)? as usize;
+                let s = dict
+                    .get(code)
+                    .ok_or_else(|| ClydeError::Format(format!("dict code {code} out of range")))?;
+                v.push(Arc::clone(s));
+            }
+            Ok(ColumnData::Str(v))
+        }
+        (Encoding::Rle, DatumType::I32) => {
+            let mut v = Vec::with_capacity(n);
+            rle_decode(body, &mut pos, n, |x| {
+                v.push(i32::try_from(x).map_err(|_| {
+                    ClydeError::Format("RLE value out of i32 range".into())
+                })?);
+                Ok(())
+            })?;
+            Ok(ColumnData::I32(v))
+        }
+        (Encoding::Rle, DatumType::I64) => {
+            let mut v = Vec::with_capacity(n);
+            rle_decode(body, &mut pos, n, |x| {
+                v.push(x);
+                Ok(())
+            })?;
+            Ok(ColumnData::I64(v))
+        }
+        (enc, dt) => Err(ClydeError::Format(format!(
+            "invalid encoding/type combination {enc:?}/{dt}"
+        ))),
+    }
+}
+
+fn rle_decode(
+    body: &[u8],
+    pos: &mut usize,
+    n: usize,
+    mut push: impl FnMut(i64) -> Result<()>,
+) -> Result<()> {
+    let mut produced = 0usize;
+    while produced < n {
+        let count = varint::read_u64(body, pos)? as usize;
+        let value = varint::read_i64(body, pos)?;
+        if produced + count > n {
+            return Err(ClydeError::Format("RLE run overflows row count".into()));
+        }
+        for _ in 0..count {
+            push(value)?;
+        }
+        produced += count;
+    }
+    Ok(())
+}
+
+fn take<const N: usize>(body: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+    let end = *pos + N;
+    let slice = body
+        .get(*pos..end)
+        .ok_or_else(|| ClydeError::Format("truncated column payload".into()))?;
+    *pos = end;
+    Ok(slice.try_into().expect("length checked"))
+}
+
+fn read_str(body: &[u8], pos: &mut usize) -> Result<Arc<str>> {
+    let len = varint::read_u64(body, pos)? as usize;
+    let end = *pos + len;
+    let bytes = body
+        .get(*pos..end)
+        .ok_or_else(|| ClydeError::Format("truncated string".into()))?;
+    *pos = end;
+    std::str::from_utf8(bytes)
+        .map(Arc::from)
+        .map_err(|_| ClydeError::Format("invalid utf-8 in column".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn strs(v: &[&str]) -> ColumnData {
+        ColumnData::Str(v.iter().map(|s| Arc::from(*s)).collect())
+    }
+
+    #[test]
+    fn plain_roundtrips_all_types() {
+        for col in [
+            ColumnData::I32(vec![1, -2, i32::MAX]),
+            ColumnData::I64(vec![0, i64::MIN, 42]),
+            ColumnData::F64(vec![1.5, f64::NAN, -0.0]),
+            strs(&["ASIA", "", "MFGR#12"]),
+        ] {
+            let enc = encode_column(&col, Encoding::Plain).unwrap();
+            let dec = decode_column(&enc).unwrap();
+            // NaN-safe comparison via debug formatting.
+            assert_eq!(format!("{dec:?}"), format!("{col:?}"));
+        }
+    }
+
+    #[test]
+    fn dict_roundtrips_and_compresses() {
+        let col = strs(&["ASIA"; 1000]);
+        let plain = encode_column(&col, Encoding::Plain).unwrap();
+        let dict = encode_column(&col, Encoding::Dict).unwrap();
+        assert_eq!(decode_column(&dict).unwrap(), col);
+        assert!(dict.len() < plain.len() / 2);
+    }
+
+    #[test]
+    fn rle_roundtrips_and_compresses() {
+        let col = ColumnData::I32(vec![7; 5000]);
+        let plain = encode_column(&col, Encoding::Plain).unwrap();
+        let rle = encode_column(&col, Encoding::Rle).unwrap();
+        assert_eq!(decode_column(&rle).unwrap(), col);
+        assert!(rle.len() < plain.len() / 100);
+    }
+
+    #[test]
+    fn empty_columns_roundtrip() {
+        for col in [
+            ColumnData::I32(vec![]),
+            ColumnData::Str(vec![]),
+            ColumnData::I64(vec![]),
+        ] {
+            for enc in [Encoding::Plain] {
+                let bytes = encode_column(&col, enc).unwrap();
+                assert_eq!(decode_column(&bytes).unwrap(), col);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let col = ColumnData::I64(vec![1, 2, 3]);
+        let mut enc = encode_column(&col, Encoding::Plain).unwrap();
+        enc[5] ^= 0xFF;
+        assert!(decode_column(&enc).is_err());
+        // Truncation too.
+        let enc2 = encode_column(&col, Encoding::Plain).unwrap();
+        assert!(decode_column(&enc2[..enc2.len() - 1]).is_err());
+        assert!(decode_column(&[]).is_err());
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        let f = ColumnData::F64(vec![1.0]);
+        assert!(encode_column(&f, Encoding::Dict).is_err());
+        assert!(encode_column(&f, Encoding::Rle).is_err());
+        let s = strs(&["x"]);
+        assert!(encode_column(&s, Encoding::Rle).is_err());
+    }
+
+    #[test]
+    fn heuristic_choices() {
+        assert_eq!(choose_encoding(&strs(&["ASIA"; 100])), Encoding::Dict);
+        let unique: Vec<String> = (0..100).map(|i| format!("name{i}")).collect();
+        let unique_col =
+            ColumnData::Str(unique.iter().map(|s| Arc::from(s.as_str())).collect());
+        assert_eq!(choose_encoding(&unique_col), Encoding::Plain);
+        assert_eq!(
+            choose_encoding(&ColumnData::I32(vec![3; 100])),
+            Encoding::Rle
+        );
+        assert_eq!(
+            choose_encoding(&ColumnData::I32((0..100).collect())),
+            Encoding::Plain
+        );
+        assert_eq!(choose_encoding(&ColumnData::I32(vec![1])), Encoding::Plain);
+    }
+
+    proptest! {
+        #[test]
+        fn plain_i64_roundtrip(v in proptest::collection::vec(any::<i64>(), 0..200)) {
+            let col = ColumnData::I64(v);
+            let enc = encode_column(&col, Encoding::Plain).unwrap();
+            prop_assert_eq!(decode_column(&enc).unwrap(), col);
+        }
+
+        #[test]
+        fn rle_i64_roundtrip(v in proptest::collection::vec(-3i64..3, 0..300)) {
+            let col = ColumnData::I64(v);
+            let enc = encode_column(&col, Encoding::Rle).unwrap();
+            prop_assert_eq!(decode_column(&enc).unwrap(), col);
+        }
+
+        #[test]
+        fn dict_roundtrip(v in proptest::collection::vec("[a-c]{0,3}", 0..200)) {
+            let col = ColumnData::Str(v.iter().map(|s| Arc::from(s.as_str())).collect());
+            let enc = encode_column(&col, Encoding::Dict).unwrap();
+            prop_assert_eq!(decode_column(&enc).unwrap(), col);
+        }
+    }
+}

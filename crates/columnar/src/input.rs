@@ -1,0 +1,402 @@
+//! MultiCIF and B-CIF: the CIF-backed Hadoop input format.
+//!
+//! Three paper mechanisms live here:
+//!
+//! * **column projection** — the format carries the column list the query
+//!   needs (or takes it from `scan.columns` in the job conf), and readers
+//!   touch only those files;
+//! * **MultiCIF** (Section 5.1) — several row groups are packed into one
+//!   *multi-split*, whose parts can be opened independently so each thread
+//!   of a multi-threaded map task deserializes its own constituent split;
+//!   `MultiSplit::OnePerNode` produces exactly one multi-split per worker,
+//!   which combined with the capacity scheduler gives Clydesdale its
+//!   one-map-task-per-node execution;
+//! * **B-CIF** (Section 5.3) — `ScanMode::Blocks` returns arrays of rows so
+//!   the per-record `next()` cost is paid once per block; `ScanMode::Rows`
+//!   is the row-at-a-time path used by the block-iteration ablation.
+
+use crate::cif::CifReader;
+use clyde_common::{ClydeError, Result, RowBlock};
+use clyde_dfs::{Dfs, NodeId};
+use clyde_mapred::conf::keys;
+use clyde_mapred::{
+    input::RowsFromBlocks, BlockReader, InputFormat, InputSplit, JobConf, Reader, SplitSpec,
+    TaskIo,
+};
+
+/// How rows come out of the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// B-CIF: blocks of up to `rows_per_block` rows.
+    Blocks { rows_per_block: usize },
+    /// Row-at-a-time through the framework (ablation / Hadoop default).
+    Rows,
+}
+
+impl Default for ScanMode {
+    fn default() -> ScanMode {
+        ScanMode::Blocks {
+            rows_per_block: 4096,
+        }
+    }
+}
+
+/// How row groups are packed into splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiSplit {
+    /// One split per row group (plain CIF).
+    Single,
+    /// Multi-splits of `k` consecutive groups.
+    GroupsPerSplit(usize),
+    /// One multi-split per worker node, each containing the groups that node
+    /// hosts (Clydesdale's scheduling shape).
+    OnePerNode,
+}
+
+/// The CIF input format.
+pub struct CifInputFormat {
+    pub base: String,
+    /// Columns to materialize; `None` reads `scan.columns` from the job conf
+    /// or falls back to all columns.
+    pub columns: Option<Vec<String>>,
+    pub mode: ScanMode,
+    pub multi: MultiSplit,
+}
+
+impl CifInputFormat {
+    pub fn new(base: impl Into<String>) -> CifInputFormat {
+        CifInputFormat {
+            base: base.into(),
+            columns: None,
+            mode: ScanMode::default(),
+            multi: MultiSplit::Single,
+        }
+    }
+
+    pub fn with_columns(mut self, columns: Vec<String>) -> CifInputFormat {
+        self.columns = Some(columns);
+        self
+    }
+
+    pub fn with_mode(mut self, mode: ScanMode) -> CifInputFormat {
+        self.mode = mode;
+        self
+    }
+
+    pub fn with_multi(mut self, multi: MultiSplit) -> CifInputFormat {
+        self.multi = multi;
+        self
+    }
+
+    fn column_indices(&self, reader: &CifReader, conf: &JobConf) -> Result<Vec<usize>> {
+        let names: Vec<String> = match (&self.columns, conf.get(keys::SCAN_COLUMNS)) {
+            (Some(cols), _) => cols.clone(),
+            (None, Some(list)) => list.split(',').map(|s| s.trim().to_string()).collect(),
+            (None, None) => reader
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
+        };
+        names.iter().map(|n| reader.column_index(n)).collect()
+    }
+}
+
+impl InputFormat for CifInputFormat {
+    fn splits(&self, dfs: &Dfs, conf: &JobConf) -> Result<Vec<InputSplit>> {
+        let reader = CifReader::open(dfs, &self.base)?;
+        let cols = self.column_indices(&reader, conf)?;
+        let n_groups = reader.meta().num_groups();
+        let mut group_hosts = Vec::with_capacity(n_groups);
+        let mut group_bytes = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            group_hosts.push(reader.group_hosts(dfs, g)?);
+            group_bytes.push(reader.group_bytes(dfs, g, &cols)?);
+        }
+
+        let multi = match self.multi {
+            MultiSplit::GroupsPerSplit(k) => {
+                let k = conf.get_u64_or(keys::GROUPS_PER_SPLIT, k as u64)? as usize;
+                MultiSplit::GroupsPerSplit(k.max(1))
+            }
+            other => other,
+        };
+
+        let packs: Vec<(Vec<usize>, Vec<NodeId>)> = match multi {
+            MultiSplit::Single => (0..n_groups)
+                .map(|g| (vec![g], group_hosts[g].clone()))
+                .collect(),
+            MultiSplit::GroupsPerSplit(k) => (0..n_groups)
+                .collect::<Vec<_>>()
+                .chunks(k)
+                .map(|chunk| {
+                    let hosts = intersect_hosts(chunk.iter().map(|&g| &group_hosts[g]))
+                        .unwrap_or_else(|| group_hosts[chunk[0]].clone());
+                    (chunk.to_vec(), hosts)
+                })
+                .collect(),
+            MultiSplit::OnePerNode => {
+                let workers = dfs.cluster().num_workers();
+                let mut per_node_groups: Vec<Vec<usize>> = vec![Vec::new(); workers];
+                let mut per_node_bytes = vec![0u64; workers];
+                for g in 0..n_groups {
+                    // Prefer hosts holding the group; fall back to any node.
+                    let candidates: Vec<usize> = if group_hosts[g].is_empty() {
+                        (0..workers).collect()
+                    } else {
+                        group_hosts[g].iter().map(|n| n.0).collect()
+                    };
+                    let chosen = candidates
+                        .iter()
+                        .copied()
+                        .min_by_key(|&c| (per_node_bytes[c], c))
+                        .expect("candidates never empty");
+                    per_node_groups[chosen].push(g);
+                    per_node_bytes[chosen] += group_bytes[g];
+                }
+                per_node_groups
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, gs)| !gs.is_empty())
+                    .map(|(node, gs)| (gs, vec![NodeId(node)]))
+                    .collect()
+            }
+        };
+
+        Ok(packs
+            .into_iter()
+            .enumerate()
+            .map(|(index, (groups, hosts))| {
+                let bytes = groups.iter().map(|&g| group_bytes[g]).sum();
+                InputSplit {
+                    index,
+                    spec: SplitSpec::Groups {
+                        base: self.base.clone(),
+                        groups,
+                    },
+                    hosts,
+                    bytes,
+                }
+            })
+            .collect())
+    }
+
+    fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
+        let SplitSpec::Groups { base, groups } = &split.spec else {
+            return Err(ClydeError::MapReduce("CIF expects group splits".into()));
+        };
+        let &group = groups.get(part).ok_or_else(|| {
+            ClydeError::MapReduce(format!(
+                "part {part} out of range for multi-split of {} groups",
+                groups.len()
+            ))
+        })?;
+        let reader = CifReader::open(&io.dfs, base)?;
+        // Re-resolve columns at the task (conf travels via the format).
+        let cols: Vec<usize> = match &self.columns {
+            Some(names) => names
+                .iter()
+                .map(|n| reader.column_index(n))
+                .collect::<Result<_>>()?,
+            None => (0..reader.schema().len()).collect(),
+        };
+        let block = reader.read_group(io, group, &cols)?;
+        match self.mode {
+            ScanMode::Blocks { rows_per_block } => Ok(Reader::Blocks(Box::new(
+                SlicedBlockReader::new(block, rows_per_block.max(1)),
+            ))),
+            ScanMode::Rows => Ok(Reader::Rows(Box::new(RowsFromBlocks::new(Box::new(
+                SlicedBlockReader::new(block, 4096),
+            ))))),
+        }
+    }
+}
+
+/// Serves one decoded row group as blocks of at most `rows_per_block` rows.
+pub struct SlicedBlockReader {
+    block: RowBlock,
+    pos: usize,
+    rows_per_block: usize,
+}
+
+impl SlicedBlockReader {
+    pub fn new(block: RowBlock, rows_per_block: usize) -> SlicedBlockReader {
+        SlicedBlockReader {
+            block,
+            pos: 0,
+            rows_per_block,
+        }
+    }
+}
+
+impl BlockReader for SlicedBlockReader {
+    fn next_block(&mut self) -> Result<Option<RowBlock>> {
+        if self.pos >= self.block.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + self.rows_per_block).min(self.block.len());
+        // Whole-group fast path avoids the copy.
+        let out = if self.pos == 0 && end == self.block.len() {
+            std::mem::take(&mut self.block)
+        } else {
+            self.block.slice(self.pos, end)
+        };
+        self.pos = end.max(self.pos + out.len());
+        Ok(Some(out))
+    }
+}
+
+fn intersect_hosts<'a>(
+    mut sets: impl Iterator<Item = &'a Vec<NodeId>>,
+) -> Option<Vec<NodeId>> {
+    let first = sets.next()?.clone();
+    let mut acc = first;
+    for s in sets {
+        acc.retain(|n| s.contains(n));
+    }
+    if acc.is_empty() {
+        None
+    } else {
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cif::CifWriter;
+    use clyde_common::{row, Field, Row, Schema};
+    use std::sync::Arc;
+
+    fn make_table(dfs: &Arc<Dfs>, base: &str, rows: usize, rpg: u64) {
+        let schema = Schema::new(vec![Field::i32("a"), Field::i64("b"), Field::str("c")]);
+        let mut w = CifWriter::new(Arc::clone(dfs), base, schema, rpg).unwrap();
+        for i in 0..rows {
+            w.append(&row![i as i32, (i * 2) as i64, if i % 3 == 0 { "x" } else { "y" }])
+                .unwrap();
+        }
+        w.close().unwrap();
+    }
+
+    fn drain_rows(fmt: &CifInputFormat, dfs: &Arc<Dfs>) -> Vec<Row> {
+        let conf = JobConf::new();
+        let splits = fmt.splits(dfs, &conf).unwrap();
+        let io = TaskIo::client(Arc::clone(dfs));
+        let mut rows = Vec::new();
+        for s in &splits {
+            for part in 0..s.spec.num_parts() {
+                match fmt.open(s, part, &io).unwrap() {
+                    Reader::Blocks(mut b) => {
+                        while let Some(blk) = b.next_block().unwrap() {
+                            for i in 0..blk.len() {
+                                rows.push(blk.row(i));
+                            }
+                        }
+                    }
+                    Reader::Rows(mut r) => {
+                        while let Some((_, v)) = r.next().unwrap() {
+                            rows.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn single_split_per_group() {
+        let dfs = Dfs::for_tests(4);
+        make_table(&dfs, "/t", 20, 5);
+        let fmt = CifInputFormat::new("/t");
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        assert_eq!(splits.len(), 4);
+        assert!(splits.iter().all(|s| !s.hosts.is_empty()));
+        assert!(splits.iter().all(|s| s.bytes > 0));
+        let rows = drain_rows(&fmt, &dfs);
+        assert_eq!(rows.len(), 20);
+        assert_eq!(rows[7], row![7i32, 14i64, "y"]);
+    }
+
+    #[test]
+    fn multi_split_packs_groups() {
+        let dfs = Dfs::for_tests(4);
+        make_table(&dfs, "/t", 40, 5); // 8 groups
+        let fmt = CifInputFormat::new("/t").with_multi(MultiSplit::GroupsPerSplit(3));
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        assert_eq!(splits.len(), 3); // 3+3+2
+        assert_eq!(splits[0].spec.num_parts(), 3);
+        assert_eq!(splits[2].spec.num_parts(), 2);
+        assert_eq!(drain_rows(&fmt, &dfs).len(), 40);
+    }
+
+    #[test]
+    fn one_split_per_node_covers_everything_locally() {
+        let dfs = Dfs::for_tests(3);
+        make_table(&dfs, "/t", 60, 5); // 12 groups over 3 nodes
+        let fmt = CifInputFormat::new("/t").with_multi(MultiSplit::OnePerNode);
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        assert!(splits.len() <= 3);
+        // Each split is pinned to exactly one node that hosts its groups.
+        let mut total_groups = 0;
+        for s in &splits {
+            assert_eq!(s.hosts.len(), 1);
+            total_groups += s.spec.num_parts();
+        }
+        assert_eq!(total_groups, 12);
+        assert_eq!(drain_rows(&fmt, &dfs).len(), 60);
+    }
+
+    #[test]
+    fn projection_via_struct_and_conf() {
+        let dfs = Dfs::for_tests(3);
+        make_table(&dfs, "/t", 10, 10);
+        // Via struct.
+        let fmt = CifInputFormat::new("/t").with_columns(vec!["b".into()]);
+        let rows = drain_rows(&fmt, &dfs);
+        assert_eq!(rows[4], row![8i64]);
+        // Via conf (splits only; open() uses struct columns or all).
+        let mut conf = JobConf::new();
+        conf.set(keys::SCAN_COLUMNS, "a, c");
+        let fmt2 = CifInputFormat::new("/t");
+        let splits = fmt2.splits(&dfs, &conf).unwrap();
+        // Split byte estimate covers only the projected columns.
+        let full = CifInputFormat::new("/t").splits(&dfs, &JobConf::new()).unwrap();
+        assert!(splits[0].bytes < full[0].bytes);
+    }
+
+    #[test]
+    fn rows_mode_yields_rows() {
+        let dfs = Dfs::for_tests(2);
+        make_table(&dfs, "/t", 12, 4);
+        let fmt = CifInputFormat::new("/t").with_mode(ScanMode::Rows);
+        let rows = drain_rows(&fmt, &dfs);
+        assert_eq!(rows.len(), 12);
+    }
+
+    #[test]
+    fn block_mode_respects_block_size() {
+        let dfs = Dfs::for_tests(2);
+        make_table(&dfs, "/t", 10, 10);
+        let fmt = CifInputFormat::new("/t").with_mode(ScanMode::Blocks { rows_per_block: 3 });
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        let io = TaskIo::client(Arc::clone(&dfs));
+        let mut reader = fmt.open(&splits[0], 0, &io).unwrap().into_blocks().unwrap();
+        let mut sizes = Vec::new();
+        while let Some(b) = reader.next_block().unwrap() {
+            sizes.push(b.len());
+        }
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn open_bad_part_errors() {
+        let dfs = Dfs::for_tests(2);
+        make_table(&dfs, "/t", 4, 4);
+        let fmt = CifInputFormat::new("/t");
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        let io = TaskIo::client(Arc::clone(&dfs));
+        assert!(fmt.open(&splits[0], 5, &io).is_err());
+    }
+}

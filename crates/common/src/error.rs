@@ -1,0 +1,95 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Unified error type for the Clydesdale reproduction.
+///
+/// The variants mirror the failure domains of the original system: the
+/// distributed filesystem, the MapReduce framework, storage-format
+/// (de)serialization, query planning, and resource exhaustion (the paper's
+/// Section 6.4 reports Hive mapjoin plans failing with out-of-memory errors
+/// on cluster A — we model that failure mode explicitly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClydeError {
+    /// Distributed-filesystem failures: missing files, short reads,
+    /// placement constraint violations.
+    Dfs(String),
+    /// MapReduce framework failures: bad job configuration, scheduling
+    /// impossibilities, task panics.
+    MapReduce(String),
+    /// Storage format corruption or schema mismatch during (de)serialization.
+    Format(String),
+    /// Query planning errors: unknown columns, unsupported shapes.
+    Plan(String),
+    /// A task or job exceeded the memory available on a node.
+    ///
+    /// Carries (required bytes, available bytes).
+    OutOfMemory { required: u64, available: u64 },
+    /// Invalid user-supplied configuration.
+    Config(String),
+}
+
+impl fmt::Display for ClydeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClydeError::Dfs(m) => write!(f, "dfs error: {m}"),
+            ClydeError::MapReduce(m) => write!(f, "mapreduce error: {m}"),
+            ClydeError::Format(m) => write!(f, "format error: {m}"),
+            ClydeError::Plan(m) => write!(f, "plan error: {m}"),
+            ClydeError::OutOfMemory {
+                required,
+                available,
+            } => write!(
+                f,
+                "out of memory: task requires {required} bytes but only {available} are available"
+            ),
+            ClydeError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClydeError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, ClydeError>;
+
+impl ClydeError {
+    /// True if this error is the OOM failure mode (used by the Hive baseline
+    /// to report queries that cannot complete on a memory-constrained
+    /// cluster, mirroring the paper's cluster-A mapjoin failures).
+    pub fn is_oom(&self) -> bool {
+        matches!(self, ClydeError::OutOfMemory { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_domain() {
+        assert!(ClydeError::Dfs("x".into()).to_string().contains("dfs"));
+        assert!(ClydeError::MapReduce("x".into())
+            .to_string()
+            .contains("mapreduce"));
+        assert!(ClydeError::Format("x".into())
+            .to_string()
+            .contains("format"));
+        assert!(ClydeError::Plan("x".into()).to_string().contains("plan"));
+        assert!(ClydeError::Config("x".into())
+            .to_string()
+            .contains("config"));
+    }
+
+    #[test]
+    fn oom_detection() {
+        let e = ClydeError::OutOfMemory {
+            required: 100,
+            available: 10,
+        };
+        assert!(e.is_oom());
+        assert!(!ClydeError::Dfs("no".into()).is_oom());
+        let msg = e.to_string();
+        assert!(msg.contains("100") && msg.contains("10"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Compact (non-order-preserving) binary serialization of rows.
+//!
+//! This is the wire/disk format for everything that is *not* a sort key:
+//! map-output values, reduce inputs, dimension-table files on local disk,
+//! Hive's intermediate stage outputs, and serialized hash tables shipped
+//! through the distributed cache. The sortable format lives in [`keycodec`];
+//! this one trades comparability for compactness (varints everywhere).
+//!
+//! [`keycodec`]: crate::keycodec
+
+use crate::datum::{Datum, DatumType};
+use crate::error::{ClydeError, Result};
+use crate::row::Row;
+use crate::varint;
+
+const TAG_NULL: u8 = 0;
+const TAG_I32: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Append one datum.
+pub fn write_datum(out: &mut Vec<u8>, d: &Datum) {
+    match d {
+        Datum::Null => out.push(TAG_NULL),
+        Datum::I32(v) => {
+            out.push(TAG_I32);
+            varint::write_i64(out, i64::from(*v));
+        }
+        Datum::I64(v) => {
+            out.push(TAG_I64);
+            varint::write_i64(out, *v);
+        }
+        Datum::F64(v) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Datum::Str(s) => {
+            out.push(TAG_STR);
+            varint::write_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Read one datum.
+pub fn read_datum(buf: &[u8], pos: &mut usize) -> Result<Datum> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| ClydeError::Format("rowcodec: empty buffer".into()))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Datum::Null),
+        TAG_I32 => {
+            let v = varint::read_i64(buf, pos)?;
+            let v32 = i32::try_from(v)
+                .map_err(|_| ClydeError::Format("rowcodec: i32 out of range".into()))?;
+            Ok(Datum::I32(v32))
+        }
+        TAG_I64 => Ok(Datum::I64(varint::read_i64(buf, pos)?)),
+        TAG_F64 => {
+            let end = *pos + 8;
+            let bytes = buf
+                .get(*pos..end)
+                .ok_or_else(|| ClydeError::Format("rowcodec: truncated f64".into()))?;
+            *pos = end;
+            Ok(Datum::F64(f64::from_bits(u64::from_le_bytes(
+                bytes.try_into().expect("length checked"),
+            ))))
+        }
+        TAG_STR => {
+            let len = varint::read_u64(buf, pos)? as usize;
+            let end = *pos + len;
+            let bytes = buf
+                .get(*pos..end)
+                .ok_or_else(|| ClydeError::Format("rowcodec: truncated string".into()))?;
+            *pos = end;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| ClydeError::Format("rowcodec: invalid utf-8".into()))?;
+            Ok(Datum::str(s))
+        }
+        other => Err(ClydeError::Format(format!(
+            "rowcodec: unknown tag {other}"
+        ))),
+    }
+}
+
+/// Append a row (arity-prefixed).
+pub fn write_row(out: &mut Vec<u8>, row: &Row) {
+    varint::write_u64(out, row.len() as u64);
+    for d in row.iter() {
+        write_datum(out, d);
+    }
+}
+
+/// Read a row written by [`write_row`].
+pub fn read_row(buf: &[u8], pos: &mut usize) -> Result<Row> {
+    let n = varint::read_u64(buf, pos)? as usize;
+    if n > buf.len() - *pos {
+        // Cheap sanity bound: a row cannot have more fields than bytes left.
+        return Err(ClydeError::Format("rowcodec: implausible row arity".into()));
+    }
+    let mut row = Row::with_capacity(n);
+    for _ in 0..n {
+        row.push(read_datum(buf, pos)?);
+    }
+    Ok(row)
+}
+
+/// Serialize a sequence of rows to a single buffer (count-prefixed).
+pub fn write_rows(rows: &[Row]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + rows.len() * 16);
+    varint::write_u64(&mut out, rows.len() as u64);
+    for r in rows {
+        write_row(&mut out, r);
+    }
+    out
+}
+
+/// Deserialize a buffer written by [`write_rows`].
+pub fn read_rows(buf: &[u8]) -> Result<Vec<Row>> {
+    let mut pos = 0;
+    let n = varint::read_u64(buf, &mut pos)? as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        rows.push(read_row(buf, &mut pos)?);
+    }
+    if pos != buf.len() {
+        return Err(ClydeError::Format(format!(
+            "rowcodec: {} trailing bytes",
+            buf.len() - pos
+        )));
+    }
+    Ok(rows)
+}
+
+/// Expected datum types of a row, serialized alongside table files.
+pub fn write_types(out: &mut Vec<u8>, types: &[DatumType]) {
+    varint::write_u64(out, types.len() as u64);
+    for t in types {
+        out.push(t.tag());
+    }
+}
+
+/// Inverse of [`write_types`].
+pub fn read_types(buf: &[u8], pos: &mut usize) -> Result<Vec<DatumType>> {
+    let n = varint::read_u64(buf, pos)? as usize;
+    let mut types = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| ClydeError::Format("rowcodec: truncated types".into()))?;
+        *pos += 1;
+        types.push(
+            DatumType::from_tag(tag)
+                .ok_or_else(|| ClydeError::Format(format!("rowcodec: bad type tag {tag}")))?,
+        );
+    }
+    Ok(types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use proptest::prelude::*;
+
+    #[test]
+    fn datum_roundtrip() {
+        for d in [
+            Datum::Null,
+            Datum::I32(-5),
+            Datum::I64(1 << 40),
+            Datum::F64(2.5),
+            Datum::str("ASIA"),
+            Datum::str(""),
+        ] {
+            let mut buf = Vec::new();
+            write_datum(&mut buf, &d);
+            let mut pos = 0;
+            let back = read_datum(&buf, &mut pos).unwrap();
+            assert_eq!(pos, buf.len());
+            // Exact type preservation (unlike keycodec).
+            assert_eq!(format!("{back:?}"), format!("{d:?}"));
+        }
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let rows = vec![row![1i32, "a"], Row::empty(), row![9i64, 1.25f64]];
+        let buf = write_rows(&rows);
+        assert_eq!(read_rows(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = write_rows(&[row![1i32]]);
+        buf.push(0xAB);
+        assert!(read_rows(&buf).is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let buf = write_rows(&[row!["hello world"]]);
+        for cut in 1..buf.len() {
+            assert!(
+                read_rows(&buf[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn types_roundtrip() {
+        let types = vec![DatumType::I32, DatumType::Str, DatumType::F64];
+        let mut buf = Vec::new();
+        write_types(&mut buf, &types);
+        let mut pos = 0;
+        assert_eq!(read_types(&buf, &mut pos).unwrap(), types);
+    }
+
+    fn arb_datum() -> impl Strategy<Value = Datum> {
+        prop_oneof![
+            Just(Datum::Null),
+            any::<i32>().prop_map(Datum::I32),
+            any::<i64>().prop_map(Datum::I64),
+            any::<f64>().prop_map(Datum::F64),
+            "[\\PC]{0,16}".prop_map(|s| Datum::from(s)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_rows(rows in proptest::collection::vec(
+            proptest::collection::vec(arb_datum(), 0..6).prop_map(Row::new), 0..20)) {
+            let buf = write_rows(&rows);
+            let back = read_rows(&buf).unwrap();
+            prop_assert_eq!(back.len(), rows.len());
+            for (a, b) in back.iter().zip(&rows) {
+                prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+    }
+}

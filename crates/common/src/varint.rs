@@ -1,0 +1,159 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Used by the storage formats (`clyde-columnar`) for lengths and dictionary
+//! codes, where most values are small and a fixed 4-byte width would waste
+//! I/O — which matters, because scan bandwidth is exactly what the paper's
+//! columnar layout is trying to conserve.
+
+use crate::error::{ClydeError, Result};
+
+/// Append `v` to `out` as unsigned LEB128.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append `v` to `out` as zigzag-coded signed LEB128.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Decode an unsigned LEB128 value from `buf` starting at `*pos`, advancing
+/// `*pos` past it.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| ClydeError::Format("varint: unexpected end of buffer".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(ClydeError::Format("varint: overflow".into()));
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Decode a zigzag-coded signed LEB128 value.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(unzigzag(read_u64(buf, pos)?))
+}
+
+/// Encoded length in bytes of `v` as unsigned LEB128.
+pub fn encoded_len_u64(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 0);
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 2);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 0);
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 127);
+        assert_eq!(pos, 2);
+    }
+
+    #[test]
+    fn boundary_values() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), encoded_len_u64(v));
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn signed_boundaries() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -64, 63, -65, 64] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+        assert!(read_u64(&[], &mut 0).is_err());
+    }
+
+    #[test]
+    fn malformed_overlong_varint_errors() {
+        // 11 continuation bytes exceed the 64-bit shift budget.
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_u64(v: u64) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, buf.len());
+            prop_assert_eq!(buf.len(), encoded_len_u64(v));
+        }
+
+        #[test]
+        fn roundtrip_i64(v: i64) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+
+        #[test]
+        fn sequences_roundtrip(vs in proptest::collection::vec(any::<u64>(), 0..50)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_u64(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &vs {
+                prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

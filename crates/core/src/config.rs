@@ -1,0 +1,93 @@
+//! Feature flags — the knobs behind the paper's Section 6.5 ablation.
+
+/// Which of Clydesdale's techniques are enabled. Defaults to all on (the
+/// system as shipped); the Figure 9 ablation turns them off one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// Columnar scans: read only the query's columns from CIF. Off = read
+    /// every fact column (the paper measured a 3.4x average slowdown).
+    pub columnar: bool,
+    /// Block iteration (B-CIF): probe over column arrays. Off = materialize
+    /// one row at a time (paper: ~1.2x slowdown).
+    pub block_iteration: bool,
+    /// Multi-threaded map tasks with shared hash tables and one task per
+    /// node. Off = single-threaded tasks, one per slot, each building its
+    /// own copy of the dimension hash tables (paper: ~2.4x slowdown, up to
+    /// 4.5x on flight 4).
+    pub multithreading: bool,
+    /// JVM reuse: share hash tables across consecutive tasks on a node.
+    /// Meaningful only when `multithreading` is on; off forces rebuilds.
+    pub jvm_reuse: bool,
+}
+
+impl Default for Features {
+    fn default() -> Features {
+        Features {
+            columnar: true,
+            block_iteration: true,
+            multithreading: true,
+            jvm_reuse: true,
+        }
+    }
+}
+
+impl Features {
+    pub fn all_on() -> Features {
+        Features::default()
+    }
+
+    pub fn without_columnar() -> Features {
+        Features {
+            columnar: false,
+            ..Features::default()
+        }
+    }
+
+    pub fn without_block_iteration() -> Features {
+        Features {
+            block_iteration: false,
+            ..Features::default()
+        }
+    }
+
+    pub fn without_multithreading() -> Features {
+        Features {
+            multithreading: false,
+            jvm_reuse: false,
+            ..Features::default()
+        }
+    }
+
+    /// Human-readable label used by the ablation harness.
+    pub fn label(&self) -> &'static str {
+        match (self.columnar, self.block_iteration, self.multithreading) {
+            (true, true, true) => "all-on",
+            (false, true, true) => "no-columnar",
+            (true, false, true) => "no-block-iteration",
+            (true, true, false) => "no-multithreading",
+            _ => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_all_on() {
+        let f = Features::default();
+        assert!(f.columnar && f.block_iteration && f.multithreading && f.jvm_reuse);
+        assert_eq!(f.label(), "all-on");
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(!Features::without_columnar().columnar);
+        assert!(!Features::without_block_iteration().block_iteration);
+        let mt = Features::without_multithreading();
+        assert!(!mt.multithreading && !mt.jvm_reuse);
+        assert_eq!(mt.label(), "no-multithreading");
+        assert_eq!(Features::without_columnar().label(), "no-columnar");
+    }
+}

@@ -1,0 +1,445 @@
+//! The public Clydesdale engine API.
+
+use crate::config::Features;
+use crate::planner::plan_query;
+use clyde_common::{Result, Row};
+use clyde_dfs::Dfs;
+use clyde_mapred::{CostParams, Engine, JobCost, JobProfile};
+use clyde_ssb::loader::SsbLayout;
+use clyde_ssb::queries::StarQuery;
+use clyde_ssb::schema;
+use std::sync::Arc;
+
+/// Result of one Clydesdale query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Final rows: group-by columns + the aggregate, in ORDER BY order.
+    pub rows: Vec<Row>,
+    /// Hardware-independent execution profile (extrapolable / re-priceable).
+    pub profile: JobProfile,
+    /// Simulated cost on the engine's own cluster spec, including the final
+    /// client-side sort.
+    pub cost: JobCost,
+    /// Simulated seconds of the final single-process ORDER BY sort (paper
+    /// Figure 4 line 33; under 10 s for Q2.1 at SF1000).
+    pub final_sort_s: f64,
+    /// Fraction of scanned bytes read from local replicas.
+    pub locality: f64,
+}
+
+impl QueryResult {
+    /// Total simulated seconds.
+    pub fn total_s(&self) -> f64 {
+        self.cost.total_s() + self.final_sort_s
+    }
+}
+
+/// Clydesdale: the star-join engine over a DFS + MapReduce substrate.
+pub struct Clydesdale {
+    engine: Engine,
+    layout: SsbLayout,
+    features: Features,
+}
+
+impl Clydesdale {
+    pub fn new(dfs: Arc<Dfs>, layout: SsbLayout) -> Clydesdale {
+        Clydesdale {
+            engine: Engine::new(dfs),
+            layout,
+            features: Features::default(),
+        }
+    }
+
+    pub fn with_features(dfs: Arc<Dfs>, layout: SsbLayout, features: Features) -> Clydesdale {
+        Clydesdale {
+            engine: Engine::new(dfs),
+            layout,
+            features,
+        }
+    }
+
+    pub fn with_params(
+        dfs: Arc<Dfs>,
+        layout: SsbLayout,
+        features: Features,
+        params: CostParams,
+    ) -> Clydesdale {
+        Clydesdale {
+            engine: Engine::with_params(dfs, params),
+            layout,
+            features,
+        }
+    }
+
+    pub fn features(&self) -> Features {
+        self.features
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Copy every dimension table's master copy from the DFS onto every
+    /// node's local disk (paper Figure 2). Queries repair missing copies on
+    /// demand, so this is an optimization, not a requirement.
+    pub fn warm_dimension_cache(&self) -> Result<()> {
+        for table in [
+            schema::CUSTOMER,
+            schema::SUPPLIER,
+            schema::PART,
+            schema::DATE,
+        ] {
+            let path = self.layout.dim_bin(table);
+            if self.engine.dfs().exists(&path) {
+                self.engine
+                    .local_store()
+                    .broadcast_from_dfs(&path, self.engine.dfs())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Describe the MapReduce job a query would run, without running it —
+    /// the scan projection, the join pipeline with estimated hash-table
+    /// sizes, and the scheduling shape.
+    pub fn explain(&self, query: &StarQuery) -> Result<String> {
+        use std::fmt::Write as _;
+        query.validate()?;
+        let (scan_cols, _) = crate::planner::scan_schema(query, &self.features)?;
+        let cluster = self.engine.dfs().cluster();
+        let mut out = String::new();
+        writeln!(out, "== Clydesdale plan for {} ==", query.id).expect("string write");
+        writeln!(
+            out,
+            "scan lineorder [{}]: columns {:?}{}",
+            self.layout.fact_cif(),
+            scan_cols,
+            if self.features.block_iteration {
+                " (block iteration)"
+            } else {
+                " (row-at-a-time)"
+            }
+        )
+        .expect("string write");
+        for p in &query.fact_preds {
+            writeln!(out, "  fact filter on {}", p.column()).expect("string write");
+        }
+        for join in &query.joins {
+            writeln!(
+                out,
+                "  hash join {}.{} = lineorder.{} (predicate: {}, aux: {:?})",
+                join.dimension,
+                join.pk,
+                join.fk,
+                if join.predicate == clyde_ssb::queries::DimPred::True {
+                    "none"
+                } else {
+                    "pushed into build"
+                },
+                join.aux,
+            )
+            .expect("string write");
+        }
+        writeln!(
+            out,
+            "map: {} multi-threaded task(s), one per node, {} threads each, \
+             tables shared via JVM reuse: {}",
+            cluster.num_workers(),
+            if self.features.multithreading {
+                cluster.map_slots
+            } else {
+                1
+            },
+            self.features.jvm_reuse,
+        )
+        .expect("string write");
+        writeln!(
+            out,
+            "reduce: {} partition(s), aggregate {:?}, group by {:?}",
+            cluster.total_reduce_slots(),
+            query.aggregate,
+            query.group_by,
+        )
+        .expect("string write");
+        let order: Vec<String> = query
+            .order_by
+            .iter()
+            .map(|(t, desc)| {
+                let name = match t {
+                    clyde_ssb::queries::OrderTerm::Aggregate => "<aggregate>".to_string(),
+                    clyde_ssb::queries::OrderTerm::Column(c) => c.clone(),
+                };
+                format!("{name}{}", if *desc { " desc" } else { "" })
+            })
+            .collect();
+        writeln!(
+            out,
+            "client: single-process sort by [{}]{}",
+            order.join(", "),
+            query
+                .limit
+                .map_or(String::new(), |l| format!(", limit {l}")),
+        )
+        .expect("string write");
+        Ok(out)
+    }
+
+    /// Execute a star query end to end: one MapReduce job (join + group-by
+    /// aggregation) followed by a single-process ORDER BY sort.
+    pub fn query(&self, query: &StarQuery) -> Result<QueryResult> {
+        let spec = plan_query(
+            query,
+            &self.layout,
+            self.features,
+            self.engine.dfs().cluster(),
+        )?;
+        let result = self.engine.run_job(&spec)?;
+        let mut rows = result.rows;
+        query.finish_result(&mut rows);
+        // Price the client-side sort like the paper's single-process sort.
+        let final_sort_s = rows.len() as f64 / self.engine.params().sort_records_per_s + 0.5;
+        Ok(QueryResult {
+            rows,
+            profile: result.profile,
+            cost: result.cost,
+            final_sort_s,
+            locality: result.locality,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clyde_dfs::{ClusterSpec, ColocatingPlacement, DfsOptions};
+    use clyde_ssb::gen::SsbGen;
+    use clyde_ssb::{all_queries, loader, query_by_id, reference_answer};
+
+    fn setup(sf: f64, nodes: usize) -> (Arc<Dfs>, SsbLayout, SsbGen) {
+        let dfs = Dfs::new(
+            ClusterSpec::tiny(nodes),
+            DfsOptions {
+                block_size: 1 << 20,
+                replication: 2,
+                policy: Box::new(ColocatingPlacement),
+            },
+        );
+        let layout = SsbLayout::default();
+        let gen = SsbGen::new(sf, 46);
+        loader::load(
+            &dfs,
+            gen,
+            &layout,
+            &loader::LoadOpts {
+                rows_per_group: 2_000,
+                cif: true,
+                rcfile: false,
+                text: false,
+            },
+        )
+        .unwrap();
+        (dfs, layout, gen)
+    }
+
+    #[test]
+    fn q21_matches_reference() {
+        let (dfs, layout, gen) = setup(0.005, 3);
+        let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+        clyde.warm_dimension_cache().unwrap();
+        let q = query_by_id("Q2.1").unwrap();
+        let result = clyde.query(&q).unwrap();
+        let expect = reference_answer(&gen.gen_all(), &q).unwrap();
+        assert_eq!(result.rows, expect);
+        assert!(result.total_s() > 0.0);
+        // One multi-threaded map task per node.
+        assert!(result.profile.map_tasks.len() <= 3);
+        assert_eq!(result.profile.map_concurrency, 1);
+        // Hash tables built exactly once per participating node.
+        let builds: u64 = result
+            .profile
+            .map_tasks
+            .iter()
+            .map(|t| t.cost.build_rows)
+            .filter(|&b| b > 0)
+            .count() as u64;
+        assert_eq!(builds, result.profile.map_tasks.len() as u64);
+        // CIF co-location + one-split-per-node ⇒ fully local scan.
+        assert_eq!(result.locality, 1.0);
+    }
+
+    #[test]
+    fn all_thirteen_queries_match_reference() {
+        let (dfs, layout, gen) = setup(0.01, 4);
+        let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+        clyde.warm_dimension_cache().unwrap();
+        let data = gen.gen_all();
+        for q in all_queries() {
+            let result = clyde.query(&q).unwrap();
+            let expect = reference_answer(&data, &q).unwrap();
+            assert_eq!(result.rows, expect, "{} mismatch", q.id);
+            assert!(!result.rows.is_empty(), "{} empty", q.id);
+        }
+    }
+
+    #[test]
+    fn ablations_change_cost_but_not_results() {
+        let (dfs, layout, gen) = setup(0.005, 3);
+        let q = query_by_id("Q4.1").unwrap();
+        let expect = reference_answer(&gen.gen_all(), &q).unwrap();
+
+        let baseline = Clydesdale::new(Arc::clone(&dfs), layout.clone());
+        let base = baseline.query(&q).unwrap();
+        assert_eq!(base.rows, expect);
+
+        for features in [
+            Features::without_columnar(),
+            Features::without_block_iteration(),
+            Features::without_multithreading(),
+        ] {
+            let ablated =
+                Clydesdale::with_features(Arc::clone(&dfs), layout.clone(), features);
+            let r = ablated.query(&q).unwrap();
+            assert_eq!(r.rows, expect, "{} changed results", features.label());
+        }
+
+        // Columnar-off reads more bytes.
+        let no_col = Clydesdale::with_features(
+            Arc::clone(&dfs),
+            layout.clone(),
+            Features::without_columnar(),
+        );
+        let r = no_col.query(&q).unwrap();
+        let base_bytes = base.profile.total_map_cost().local_bytes
+            + base.profile.total_map_cost().remote_bytes;
+        let ablated_bytes =
+            r.profile.total_map_cost().local_bytes + r.profile.total_map_cost().remote_bytes;
+        assert!(
+            ablated_bytes > base_bytes * 2,
+            "columnar-off must read much more: {ablated_bytes} vs {base_bytes}"
+        );
+
+        // Block-iteration-off counts rows through the row path.
+        let no_blk = Clydesdale::with_features(
+            Arc::clone(&dfs),
+            layout.clone(),
+            Features::without_block_iteration(),
+        );
+        let r = no_blk.query(&q).unwrap();
+        assert!(r.profile.total_map_cost().rowiter_rows > 0);
+        assert_eq!(r.profile.total_map_cost().block_rows, 0);
+
+        // Multithreading-off builds tables once per task, not once per node.
+        let no_mt = Clydesdale::with_features(
+            Arc::clone(&dfs),
+            layout,
+            Features::without_multithreading(),
+        );
+        let r = no_mt.query(&q).unwrap();
+        let rebuilds = r
+            .profile
+            .map_tasks
+            .iter()
+            .filter(|t| t.cost.build_rows > 0)
+            .count();
+        assert_eq!(
+            rebuilds,
+            r.profile.map_tasks.len(),
+            "every single-threaded task must rebuild its tables"
+        );
+        assert!(r.profile.map_tasks.len() > base.profile.map_tasks.len());
+        assert!(r.profile.memory_per_slot > 0);
+        assert_eq!(r.profile.memory_shared, 0);
+        assert!(base.profile.memory_shared > 0);
+    }
+
+    #[test]
+    fn dimension_cache_repair_path() {
+        // Clear a node's local cache after warming; the query must repair it
+        // from the DFS and still answer correctly (paper Figure 2).
+        let (dfs, layout, gen) = setup(0.005, 3);
+        let clyde = Clydesdale::new(Arc::clone(&dfs), layout.clone());
+        clyde.warm_dimension_cache().unwrap();
+        clyde
+            .engine()
+            .local_store()
+            .clear_node(clyde_dfs::NodeId(1));
+        let q = query_by_id("Q3.1").unwrap();
+        let result = clyde.query(&q).unwrap();
+        let expect = reference_answer(&gen.gen_all(), &q).unwrap();
+        assert_eq!(result.rows, expect);
+    }
+
+    #[test]
+    fn cold_cache_works_without_warming() {
+        let (dfs, layout, gen) = setup(0.005, 2);
+        let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+        let q = query_by_id("Q1.2").unwrap();
+        let result = clyde.query(&q).unwrap();
+        let expect = reference_answer(&gen.gen_all(), &q).unwrap();
+        assert_eq!(result.rows, expect);
+    }
+}
+
+#[cfg(test)]
+mod limit_and_explain_tests {
+    use super::*;
+    use clyde_dfs::{ClusterSpec, ColocatingPlacement, DfsOptions};
+    use clyde_ssb::gen::SsbGen;
+    use clyde_ssb::{loader, query_by_id, reference_answer};
+
+    #[test]
+    fn limit_truncates_after_the_sort() {
+        let dfs = Dfs::new(
+            ClusterSpec::tiny(2),
+            DfsOptions {
+                block_size: 1 << 20,
+                replication: 1,
+                policy: Box::new(ColocatingPlacement),
+            },
+        );
+        let layout = SsbLayout::default();
+        let gen = SsbGen::new(0.004, 46);
+        loader::load(
+            &dfs,
+            gen,
+            &layout,
+            &loader::LoadOpts {
+                rows_per_group: 2_000,
+                cif: true,
+                rcfile: false,
+                text: false,
+            },
+        )
+        .unwrap();
+        let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+        let mut q = query_by_id("Q2.1").unwrap();
+        let full = clyde.query(&q).unwrap().rows;
+        assert!(full.len() > 5);
+        q.limit = Some(5);
+        q.id = "Q2.1-top5".into();
+        let limited = clyde.query(&q).unwrap().rows;
+        assert_eq!(limited.len(), 5);
+        assert_eq!(limited, full[..5].to_vec(), "limit must keep the top rows");
+        // The reference executor agrees on limit semantics.
+        let expect = reference_answer(&gen.gen_all(), &q).unwrap();
+        assert_eq!(limited, expect);
+    }
+
+    #[test]
+    fn explain_describes_the_plan_without_executing() {
+        let dfs = Dfs::new(
+            ClusterSpec::cluster_a(),
+            DfsOptions::default(),
+        );
+        let clyde = Clydesdale::new(dfs, SsbLayout::default());
+        let q = query_by_id("Q3.1").unwrap();
+        let plan = clyde.explain(&q).unwrap();
+        assert!(plan.contains("Q3.1"));
+        assert!(plan.contains("hash join customer.c_custkey = lineorder.lo_custkey"));
+        assert!(plan.contains("8 multi-threaded task(s)"));
+        assert!(plan.contains("6 threads"));
+        assert!(plan.contains("sort by [d_year, <aggregate> desc]"));
+        // No data was loaded: explain never touched the fact table.
+        assert!(clyde.query(&q).is_err(), "query without data must fail");
+    }
+}

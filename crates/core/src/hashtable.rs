@@ -1,0 +1,207 @@
+//! Dimension hash tables (paper Section 4.2).
+//!
+//! One table per dimension join: key = dimension primary key, value = the
+//! auxiliary columns the query references. The dimension predicate is
+//! evaluated during the build, so non-qualifying rows never enter the table
+//! and the probe's miss *is* the filter. Once built, the tables are
+//! read-only and are shared by every thread and every subsequent task on
+//! the node without synchronization — exactly the property the paper
+//! exploits (Section 5.1).
+
+use clyde_common::{ClydeError, FxHashMap, Result, Row};
+use clyde_ssb::queries::DimJoin;
+use clyde_ssb::schema;
+
+/// A read-only hash table over one (filtered) dimension.
+#[derive(Debug)]
+pub struct DimHashTable {
+    map: FxHashMap<i64, Row>,
+    /// Rows scanned while building (qualifying or not) — the build cost.
+    pub rows_scanned: u64,
+    /// Approximate heap footprint, for the node memory model.
+    pub mem_bytes: u64,
+}
+
+impl DimHashTable {
+    /// Build from dimension rows per the join description. `buildHashTables`
+    /// in the paper's Figure 4 pseudocode.
+    pub fn build(join: &DimJoin, rows: &[Row]) -> Result<DimHashTable> {
+        let dim_schema = schema::schema_of(&join.dimension)
+            .ok_or_else(|| ClydeError::Plan(format!("unknown dimension {}", join.dimension)))?;
+        let pred = join.predicate.compile(&dim_schema)?;
+        let pk_idx = dim_schema.index_of(&join.pk)?;
+        let aux_idx: Vec<usize> = join
+            .aux
+            .iter()
+            .map(|a| dim_schema.index_of(a))
+            .collect::<Result<_>>()?;
+
+        let mut map: FxHashMap<i64, Row> = FxHashMap::default();
+        let mut mem = 0u64;
+        for r in rows {
+            if !pred.eval(r) {
+                continue;
+            }
+            let pk = r.at(pk_idx).as_i64().ok_or_else(|| {
+                ClydeError::Plan(format!("{}.{} is not an integer key", join.dimension, join.pk))
+            })?;
+            let aux: Row = aux_idx.iter().map(|&i| r.at(i).clone()).collect();
+            mem += 8 + aux.heap_size() as u64 + 16; // key + value + bucket overhead
+            if map.insert(pk, aux).is_some() {
+                return Err(ClydeError::Plan(format!(
+                    "duplicate primary key {pk} in dimension {}",
+                    join.dimension
+                )));
+            }
+        }
+        Ok(DimHashTable {
+            map,
+            rows_scanned: rows.len() as u64,
+            mem_bytes: mem,
+        })
+    }
+
+    /// Probe by foreign key; `None` both for filtered-out and absent keys.
+    #[inline]
+    pub fn get(&self, fk: i64) -> Option<&Row> {
+        self.map.get(&fk)
+    }
+
+    /// Qualifying entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The set of hash tables for one query, built once per node and shared.
+#[derive(Debug)]
+pub struct DimTables {
+    pub tables: Vec<DimHashTable>,
+    /// Total rows scanned across all builds.
+    pub build_rows: u64,
+    /// Total memory charged for the shared copy.
+    pub mem_bytes: u64,
+}
+
+impl DimTables {
+    /// Build all tables for `joins`, fetching dimension rows through
+    /// `fetch` (node-local cache, the DFS, or in-memory test data).
+    pub fn build_all(
+        joins: &[DimJoin],
+        mut fetch: impl FnMut(&str) -> Result<Vec<Row>>,
+    ) -> Result<DimTables> {
+        let mut tables = Vec::with_capacity(joins.len());
+        let mut build_rows = 0;
+        let mut mem_bytes = 0;
+        // Single-threaded, one table at a time — the paper notes the build
+        // phase parallelism is limited to the number of dimensions and
+        // keeps it simple (Section 4.2).
+        for join in joins {
+            let rows = fetch(&join.dimension)?;
+            let t = DimHashTable::build(join, &rows)?;
+            build_rows += t.rows_scanned;
+            mem_bytes += t.mem_bytes;
+            tables.push(t);
+        }
+        Ok(DimTables {
+            tables,
+            build_rows,
+            mem_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clyde_ssb::gen::SsbGen;
+    use clyde_ssb::queries::{query_by_id, DimPred};
+
+    fn date_join_year(year: i32) -> DimJoin {
+        DimJoin {
+            dimension: schema::DATE.into(),
+            pk: "d_datekey".into(),
+            fk: "lo_orderdate".into(),
+            predicate: DimPred::I32Eq {
+                column: "d_year".into(),
+                value: year,
+            },
+            aux: vec!["d_year".into()],
+        }
+    }
+
+    #[test]
+    fn build_filters_and_keeps_aux() {
+        let dates = SsbGen::new(0.001, 1).gen_date();
+        let t = DimHashTable::build(&date_join_year(1993), &dates).unwrap();
+        assert_eq!(t.len(), 365);
+        assert_eq!(t.rows_scanned, 2557);
+        assert!(t.mem_bytes > 0);
+        // A qualifying key probes to its aux row.
+        let aux = t.get(19930704).unwrap();
+        assert_eq!(aux.at(0).as_i64(), Some(1993));
+        // Non-qualifying (1994) and absent keys miss.
+        assert!(t.get(19940704).is_none());
+        assert!(t.get(12345678).is_none());
+    }
+
+    #[test]
+    fn empty_aux_tables_work() {
+        // Flight 1 joins carry no auxiliary columns — the probe is a filter.
+        let dates = SsbGen::new(0.001, 1).gen_date();
+        let mut join = date_join_year(1993);
+        join.aux.clear();
+        let t = DimHashTable::build(&join, &dates).unwrap();
+        assert_eq!(t.get(19930101).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_pk_is_rejected() {
+        let dates = SsbGen::new(0.001, 1).gen_date();
+        let mut doubled = dates.clone();
+        // Duplicate a row that qualifies under the build predicate (1993);
+        // non-qualifying duplicates are filtered before key insertion.
+        let qualifying = dates
+            .iter()
+            .find(|r| r.at(4).as_i64() == Some(1993))
+            .unwrap()
+            .clone();
+        doubled.push(qualifying);
+        assert!(DimHashTable::build(&date_join_year(1993), &doubled).is_err());
+    }
+
+    #[test]
+    fn build_all_for_q21() {
+        let data = SsbGen::new(0.005, 46).gen_all();
+        let q = query_by_id("Q2.1").unwrap();
+        let tables = DimTables::build_all(&q.joins, |dim| {
+            Ok(data.dimension(dim).unwrap().to_vec())
+        })
+        .unwrap();
+        assert_eq!(tables.tables.len(), 3);
+        // Join order is date, part, supplier. Date is unfiltered.
+        assert_eq!(tables.tables[0].len(), 2557);
+        // Part filtered to category MFGR#12 (~1/25 of parts).
+        let parts = data.part.len();
+        let kept = tables.tables[1].len();
+        assert!(kept > 0 && kept < parts / 10, "kept {kept} of {parts}");
+        assert_eq!(
+            tables.build_rows,
+            (data.part.len() + data.supplier.len() + 2557) as u64
+        );
+        assert!(tables.mem_bytes > 0);
+    }
+
+    #[test]
+    fn build_all_propagates_fetch_errors() {
+        let q = query_by_id("Q2.1").unwrap();
+        let r = DimTables::build_all(&q.joins, |_| {
+            Err(ClydeError::Dfs("cache miss".into()))
+        });
+        assert!(r.is_err());
+    }
+}

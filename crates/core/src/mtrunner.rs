@@ -1,0 +1,150 @@
+//! `MTMapRunner` — the multi-threaded map runner (paper Figure 5).
+//!
+//! One map task per node occupies every map slot. The runner:
+//!
+//! 1. obtains the dimension hash tables from per-node state, building them
+//!    (single-threaded) only if this is the first task of the query on this
+//!    node — JVM reuse means subsequent tasks find them ready;
+//! 2. unpacks the multi-split and hands each constituent split to one of its
+//!    threads (`getMultipleReaders()`), so record deserialization is never a
+//!    shared bottleneck (Section 5.1);
+//! 3. each thread probes its blocks against the *shared, read-only* tables,
+//!    aggregating into a thread-local group map;
+//! 4. the merged per-task group map is emitted — one record per group, the
+//!    combiner effect of Figure 4.
+
+use crate::config::Features;
+use crate::hashtable::DimTables;
+use crate::probe::{probe_block, probe_row, ProbePlan, ProbeStats};
+use clyde_common::{rowcodec, ClydeError, Datum, FxHashMap, Result, Row, Schema};
+use clyde_mapred::{MapRunner, MapTaskContext, Reader};
+use clyde_ssb::loader::SsbLayout;
+use clyde_ssb::queries::StarQuery;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The Clydesdale map runner. Also handles the single-threaded ablation
+/// (`features.multithreading == false`): the same code path with one thread
+/// and per-task (unshared, per-slot-duplicated) hash tables.
+pub struct MtMapRunner {
+    pub query: Arc<StarQuery>,
+    /// Schema of the scanned (projected) fact columns, in scan order.
+    pub scan_schema: Schema,
+    pub layout: SsbLayout,
+    pub features: Features,
+}
+
+impl MtMapRunner {
+    fn acquire_tables(&self, ctx: &MapTaskContext<'_>) -> Result<Arc<DimTables>> {
+        let key = format!("clydesdale.tables.{}", self.query.id);
+        let (tables, built) = ctx.node_state.get_or_try_init(&key, || {
+            DimTables::build_all(&self.query.joins, |dim| {
+                // Dimensions come from the node-local cache (Figure 2); a
+                // node that lost its copy re-fetches from the DFS.
+                let path = self.layout.dim_bin(dim);
+                let data = ctx
+                    .local_store
+                    .get_or_fetch(ctx.node, &path, &ctx.io.dfs)?;
+                rowcodec::read_rows(&data)
+            })
+        })?;
+        if built {
+            ctx.add_cost(|c| c.build_rows += tables.build_rows);
+            if self.features.multithreading {
+                // One shared copy per node, alive for the whole job.
+                ctx.charge_memory_shared(tables.mem_bytes)?;
+            } else {
+                // Every slot holds its own copy — the configuration the
+                // paper's Section 5.1 calls impractical.
+                ctx.charge_memory_per_slot(tables.mem_bytes)?;
+            }
+        }
+        Ok(tables)
+    }
+}
+
+impl MapRunner for MtMapRunner {
+    fn run(&self, ctx: &MapTaskContext<'_>) -> Result<()> {
+        let tables = self.acquire_tables(ctx)?;
+        let plan = ProbePlan::compile(&self.query, &self.scan_schema)?;
+
+        let parts = ctx.split.spec.num_parts();
+        let threads = (ctx.threads as usize).min(parts).max(1);
+        let next_part = AtomicUsize::new(0);
+        let global_acc: Mutex<FxHashMap<Row, i64>> = Mutex::new(FxHashMap::default());
+        let global_stats: Mutex<(ProbeStats, u64)> = Mutex::new((ProbeStats::default(), 0));
+
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let tables = &tables;
+                let plan = &plan;
+                let next_part = &next_part;
+                let global_acc = &global_acc;
+                let global_stats = &global_stats;
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
+                    let mut stats = ProbeStats::default();
+                    let mut rows_seen = 0u64;
+                    loop {
+                        let part = next_part.fetch_add(1, Ordering::Relaxed);
+                        if part >= parts {
+                            break;
+                        }
+                        match ctx.input.open(ctx.split, part, &ctx.io)? {
+                            Reader::Blocks(mut r) => {
+                                while let Some(block) = r.next_block()? {
+                                    rows_seen += block.len() as u64;
+                                    probe_block(&block, plan, tables, &mut acc, &mut stats)?;
+                                }
+                            }
+                            Reader::Rows(mut r) => {
+                                while let Some((_, row)) = r.next()? {
+                                    rows_seen += 1;
+                                    probe_row(&row, plan, tables, &mut acc, &mut stats)?;
+                                }
+                            }
+                        }
+                    }
+                    // Merge the thread-local aggregates with the query's
+                    // fold (sum/min/max/count are all algebraic).
+                    let agg = &self.query.aggregate;
+                    let mut g = global_acc.lock();
+                    for (k, v) in acc {
+                        let slot = g.entry(k).or_insert_with(|| agg.identity());
+                        *slot = agg.fold(*slot, v);
+                    }
+                    let mut s = global_stats.lock();
+                    s.0.add(&stats);
+                    s.1 += rows_seen;
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join()
+                    .map_err(|_| ClydeError::MapReduce("probe thread panicked".into()))??;
+            }
+            Ok(())
+        })?;
+
+        let (stats, rows_seen) = global_stats.into_inner();
+        ctx.add_cost(|c| {
+            if self.features.block_iteration {
+                c.block_rows += rows_seen;
+            } else {
+                c.rowiter_rows += rows_seen;
+            }
+            c.probe_rows += stats.probes;
+        });
+
+        // Emit one record per group: key = group columns, value = partial sum.
+        let acc = global_acc.into_inner();
+        let mut groups: Vec<(Row, i64)> = acc.into_iter().collect();
+        groups.sort(); // deterministic emission order
+        for (key, sum) in groups {
+            ctx.emit(&key, Row::new(vec![Datum::I64(sum)]));
+        }
+        Ok(())
+    }
+}

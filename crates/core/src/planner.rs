@@ -1,0 +1,153 @@
+//! Compiles a [`StarQuery`] into one MapReduce job (paper Figure 4's
+//! `main()`): CIF input with the projected column list, the multi-threaded
+//! map runner, memory-marked tasks for one-task-per-node scheduling, and a
+//! sum reducer for the group-by.
+
+use crate::config::Features;
+use crate::mtrunner::MtMapRunner;
+use clyde_columnar::{CifInputFormat, MultiSplit, ScanMode};
+use clyde_common::{ClydeError, Result, Row, Schema};
+use clyde_dfs::ClusterSpec;
+use clyde_mapred::shuffle::FnReducer;
+use clyde_mapred::{JobSpec, OutputSpec};
+use clyde_ssb::loader::SsbLayout;
+use clyde_ssb::queries::StarQuery;
+use clyde_ssb::schema;
+use std::sync::Arc;
+
+/// The scan schema for a query under the given features: the projected
+/// fact columns when columnar scanning is on, all 17 columns otherwise.
+pub fn scan_schema(query: &StarQuery, features: &Features) -> Result<(Vec<String>, Schema)> {
+    let fact = schema::lineorder_schema();
+    let names: Vec<String> = if features.columnar {
+        query.fact_columns()
+    } else {
+        fact.fields().iter().map(|f| f.name.clone()).collect()
+    };
+    let idx: Vec<usize> = names
+        .iter()
+        .map(|n| fact.index_of(n))
+        .collect::<Result<_>>()?;
+    Ok((names.clone(), fact.project(&idx)))
+}
+
+/// Build the MapReduce job for `query`.
+pub fn plan_query(
+    query: &StarQuery,
+    layout: &SsbLayout,
+    features: Features,
+    cluster: &ClusterSpec,
+) -> Result<JobSpec> {
+    query.validate()?;
+    let (scan_cols, scan) = scan_schema(query, &features)?;
+
+    let mode = if features.block_iteration {
+        ScanMode::Blocks {
+            rows_per_block: 4096,
+        }
+    } else {
+        ScanMode::Rows
+    };
+    // One multi-split per node (Section 5.1) with multithreading; otherwise
+    // plain per-group splits that fill every slot with independent
+    // single-threaded tasks (the ablation configuration).
+    let multi = if features.multithreading {
+        MultiSplit::OnePerNode
+    } else {
+        MultiSplit::Single
+    };
+    let input = CifInputFormat::new(layout.fact_cif())
+        .with_columns(scan_cols)
+        .with_mode(mode)
+        .with_multi(multi);
+
+    let runner = MtMapRunner {
+        query: Arc::new(query.clone()),
+        scan_schema: scan,
+        layout: layout.clone(),
+        features,
+    };
+
+    let mut spec = JobSpec::new(
+        format!("clydesdale-{}", query.id),
+        Arc::new(input),
+        Arc::new(runner),
+    );
+    // Fold the per-task partial aggregates with the query's operation.
+    let agg = query.aggregate.clone();
+    spec.reducer = Some(Arc::new(FnReducer(
+        move |key: &Row, values: &[Row], out: &mut Vec<Row>| {
+            let mut acc = agg.identity();
+            for v in values {
+                let partial = v.at(0).as_i64().ok_or_else(|| {
+                    ClydeError::MapReduce("non-integer partial aggregate".into())
+                })?;
+                acc = agg.fold(acc, partial);
+            }
+            out.push(key.concat(&clyde_common::row![acc]));
+            Ok(())
+        },
+    )));
+    spec.num_reducers = cluster.total_reduce_slots().max(1) as usize;
+    spec.output = OutputSpec::Memory;
+    spec.reuse_jvm = features.jvm_reuse;
+    if features.multithreading {
+        // Mark the task as consuming the whole node's memory so the capacity
+        // scheduler admits exactly one per node (Section 5.2), and let it
+        // use every map slot's worth of threads.
+        spec.declared_task_memory = cluster.node.memory_bytes;
+        spec.task_threads = Some(cluster.map_slots);
+    } else {
+        spec.declared_task_memory = 0;
+        spec.task_threads = Some(1);
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clyde_ssb::query_by_id;
+
+    #[test]
+    fn scan_schema_projects_or_not() {
+        let q = query_by_id("Q2.1").unwrap();
+        let (cols, s) = scan_schema(&q, &Features::default()).unwrap();
+        assert_eq!(cols.len(), 4);
+        assert_eq!(s.len(), 4);
+        let (cols_all, s_all) = scan_schema(&q, &Features::without_columnar()).unwrap();
+        assert_eq!(cols_all.len(), 17);
+        assert_eq!(s_all.len(), 17);
+        // The probe plan must still resolve in the full schema.
+        crate::probe::ProbePlan::compile(&q, &s_all).unwrap();
+        crate::probe::ProbePlan::compile(&q, &s).unwrap();
+    }
+
+    #[test]
+    fn plan_marks_memory_for_one_task_per_node() {
+        let cluster = ClusterSpec::cluster_a();
+        let q = query_by_id("Q3.1").unwrap();
+        let spec = plan_query(&q, &SsbLayout::default(), Features::default(), &cluster).unwrap();
+        assert_eq!(spec.declared_task_memory, cluster.node.memory_bytes);
+        assert_eq!(spec.task_threads, Some(6));
+        assert!(spec.reuse_jvm);
+        assert_eq!(spec.num_reducers, 8);
+        assert!(spec.reducer.is_some());
+    }
+
+    #[test]
+    fn ablated_plan_uses_slots() {
+        let cluster = ClusterSpec::cluster_a();
+        let q = query_by_id("Q3.1").unwrap();
+        let spec = plan_query(
+            &q,
+            &SsbLayout::default(),
+            Features::without_multithreading(),
+            &cluster,
+        )
+        .unwrap();
+        assert_eq!(spec.declared_task_memory, 0);
+        assert_eq!(spec.task_threads, Some(1));
+        assert!(!spec.reuse_jvm);
+    }
+}

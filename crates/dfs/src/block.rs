@@ -1,0 +1,41 @@
+//! Block identifiers and metadata.
+
+use crate::topology::NodeId;
+
+/// Globally unique block identifier, allocated by the namenode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+/// Namenode-side metadata for one block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    pub id: BlockId,
+    /// Actual payload length (the final block of a file is usually short).
+    pub len: u64,
+    /// Datanodes currently holding a replica, in placement order.
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockMeta {
+    /// Whether `node` holds a replica of this block.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_check() {
+        let m = BlockMeta {
+            id: BlockId(1),
+            len: 10,
+            replicas: vec![NodeId(0), NodeId(2)],
+        };
+        assert!(m.is_local_to(NodeId(0)));
+        assert!(m.is_local_to(NodeId(2)));
+        assert!(!m.is_local_to(NodeId(1)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Datanodes: per-node block payload storage.
+
+use crate::block::BlockId;
+use bytes::Bytes;
+use clyde_common::FxHashMap;
+
+/// One datanode's block store. Payloads are `Bytes`, so replicating a block
+/// onto three datanodes shares one allocation.
+#[derive(Debug, Default)]
+pub struct Datanode {
+    blocks: FxHashMap<BlockId, Bytes>,
+    alive: bool,
+}
+
+impl Datanode {
+    pub fn new() -> Datanode {
+        Datanode {
+            blocks: FxHashMap::default(),
+            alive: true,
+        }
+    }
+
+    pub fn store(&mut self, id: BlockId, data: Bytes) {
+        self.blocks.insert(id, data);
+    }
+
+    pub fn get(&self, id: BlockId) -> Option<Bytes> {
+        if self.alive {
+            self.blocks.get(&id).cloned()
+        } else {
+            None
+        }
+    }
+
+    pub fn has(&self, id: BlockId) -> bool {
+        self.alive && self.blocks.contains_key(&id)
+    }
+
+    pub fn free(&mut self, id: BlockId) {
+        self.blocks.remove(&id);
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Simulate a node failure: all local replicas are lost.
+    pub fn kill(&mut self) {
+        self.alive = false;
+        self.blocks.clear();
+    }
+
+    /// Bring a (possibly replaced) node back empty.
+    pub fn restart(&mut self) {
+        self.alive = true;
+    }
+
+    /// Bytes currently stored (for capacity accounting in tests).
+    pub fn used_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.len() as u64).sum()
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_get() {
+        let mut dn = Datanode::new();
+        dn.store(BlockId(1), Bytes::from_static(b"hello"));
+        assert_eq!(dn.get(BlockId(1)).unwrap(), Bytes::from_static(b"hello"));
+        assert!(dn.get(BlockId(2)).is_none());
+        assert_eq!(dn.used_bytes(), 5);
+        assert_eq!(dn.num_blocks(), 1);
+    }
+
+    #[test]
+    fn kill_loses_data_and_restart_comes_back_empty() {
+        let mut dn = Datanode::new();
+        dn.store(BlockId(1), Bytes::from_static(b"x"));
+        dn.kill();
+        assert!(!dn.is_alive());
+        assert!(dn.get(BlockId(1)).is_none());
+        assert!(!dn.has(BlockId(1)));
+        dn.restart();
+        assert!(dn.is_alive());
+        assert!(dn.get(BlockId(1)).is_none());
+        assert_eq!(dn.used_bytes(), 0);
+    }
+
+    #[test]
+    fn free_removes_block() {
+        let mut dn = Datanode::new();
+        dn.store(BlockId(7), Bytes::from_static(b"abc"));
+        dn.free(BlockId(7));
+        assert!(dn.get(BlockId(7)).is_none());
+    }
+}

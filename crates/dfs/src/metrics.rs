@@ -1,0 +1,206 @@
+//! Per-node I/O accounting.
+//!
+//! Every byte that moves through the DFS is attributed to a node and
+//! classified as a local read, a remote read (crossed the network), or a
+//! write. The cost model converts these counters into simulated seconds, and
+//! the locality ratio is how we verify that CIF's co-locating placement
+//! actually delivers node-local scans.
+
+use crate::topology::NodeId;
+use parking_lot::Mutex;
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct NodeIo {
+    local_read: u64,
+    remote_read: u64,
+    written: u64,
+}
+
+/// Immutable snapshot of the counters, per node plus totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub per_node: Vec<IoNodeSnapshot>,
+}
+
+/// One node's totals within an [`IoSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoNodeSnapshot {
+    pub node: usize,
+    pub local_read: u64,
+    pub remote_read: u64,
+    pub written: u64,
+}
+
+impl IoSnapshot {
+    pub fn total_local_read(&self) -> u64 {
+        self.per_node.iter().map(|n| n.local_read).sum()
+    }
+
+    pub fn total_remote_read(&self) -> u64 {
+        self.per_node.iter().map(|n| n.remote_read).sum()
+    }
+
+    pub fn total_read(&self) -> u64 {
+        self.total_local_read() + self.total_remote_read()
+    }
+
+    pub fn total_written(&self) -> u64 {
+        self.per_node.iter().map(|n| n.written).sum()
+    }
+
+    /// Fraction of read bytes served from a local replica (1.0 = perfect
+    /// locality). Returns 1.0 when nothing was read.
+    pub fn locality_ratio(&self) -> f64 {
+        let total = self.total_read();
+        if total == 0 {
+            1.0
+        } else {
+            self.total_local_read() as f64 / total as f64
+        }
+    }
+
+    /// Difference since an earlier snapshot (counters are monotone).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        let mut per_node = self.per_node.clone();
+        for n in &mut per_node {
+            if let Some(e) = earlier.per_node.iter().find(|e| e.node == n.node) {
+                n.local_read -= e.local_read;
+                n.remote_read -= e.remote_read;
+                n.written -= e.written;
+            }
+        }
+        IoSnapshot { per_node }
+    }
+}
+
+/// Per-task scan counters, updated by the DFS read path when a reader passes
+/// one in. Unlike [`IoMetrics`] (cluster-wide, per node), a `ScanStats` is
+/// owned by a single map task and feeds that task's entry in the cost model.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    pub local_bytes: std::sync::atomic::AtomicU64,
+    pub remote_bytes: std::sync::atomic::AtomicU64,
+}
+
+impl ScanStats {
+    pub fn new() -> ScanStats {
+        ScanStats::default()
+    }
+
+    pub fn add_local(&self, bytes: u64) {
+        self.local_bytes
+            .fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn add_remote(&self, bytes: u64) {
+        self.remote_bytes
+            .fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn local(&self) -> u64 {
+        self.local_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub fn remote(&self) -> u64 {
+        self.remote_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.local() + self.remote()
+    }
+}
+
+/// Thread-safe I/O counters for a cluster of `n` nodes.
+#[derive(Debug)]
+pub struct IoMetrics {
+    nodes: Mutex<Vec<NodeIo>>,
+}
+
+impl IoMetrics {
+    pub fn new(num_nodes: usize) -> IoMetrics {
+        IoMetrics {
+            nodes: Mutex::new(vec![NodeIo::default(); num_nodes]),
+        }
+    }
+
+    pub fn record_local_read(&self, node: NodeId, bytes: u64) {
+        self.nodes.lock()[node.0].local_read += bytes;
+    }
+
+    pub fn record_remote_read(&self, node: NodeId, bytes: u64) {
+        self.nodes.lock()[node.0].remote_read += bytes;
+    }
+
+    pub fn record_write(&self, node: NodeId, bytes: u64) {
+        self.nodes.lock()[node.0].written += bytes;
+    }
+
+    pub fn snapshot(&self) -> IoSnapshot {
+        let nodes = self.nodes.lock();
+        IoSnapshot {
+            per_node: nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| IoNodeSnapshot {
+                    node: i,
+                    local_read: n.local_read,
+                    remote_read: n.remote_read,
+                    written: n.written,
+                })
+                .collect(),
+        }
+    }
+
+    pub fn reset(&self) {
+        for n in self.nodes.lock().iter_mut() {
+            *n = NodeIo::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_node() {
+        let m = IoMetrics::new(3);
+        m.record_local_read(NodeId(0), 100);
+        m.record_local_read(NodeId(0), 50);
+        m.record_remote_read(NodeId(1), 25);
+        m.record_write(NodeId(2), 10);
+        let s = m.snapshot();
+        assert_eq!(s.per_node[0].local_read, 150);
+        assert_eq!(s.per_node[1].remote_read, 25);
+        assert_eq!(s.per_node[2].written, 10);
+        assert_eq!(s.total_read(), 175);
+        assert_eq!(s.total_written(), 10);
+    }
+
+    #[test]
+    fn locality_ratio() {
+        let m = IoMetrics::new(2);
+        assert_eq!(m.snapshot().locality_ratio(), 1.0);
+        m.record_local_read(NodeId(0), 75);
+        m.record_remote_read(NodeId(1), 25);
+        assert!((m.snapshot().locality_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let m = IoMetrics::new(1);
+        m.record_local_read(NodeId(0), 10);
+        let before = m.snapshot();
+        m.record_local_read(NodeId(0), 7);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.total_local_read(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = IoMetrics::new(1);
+        m.record_write(NodeId(0), 5);
+        m.reset();
+        assert_eq!(m.snapshot().total_written(), 0);
+    }
+}

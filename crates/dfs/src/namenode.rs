@@ -1,0 +1,163 @@
+//! The namenode: file namespace and block map.
+
+use crate::block::{BlockId, BlockMeta};
+use crate::topology::NodeId;
+use clyde_common::{ClydeError, FxHashMap, Result};
+use std::collections::BTreeMap;
+
+/// Namespace entry for one write-once file.
+#[derive(Debug, Clone)]
+pub struct FileEntry {
+    pub path: String,
+    pub len: u64,
+    pub blocks: Vec<BlockId>,
+    /// Placement group the file was created with (see `placement`).
+    pub group: Option<String>,
+}
+
+/// The file namespace and block metadata, single-writer (guarded by the
+/// `Dfs` facade's lock).
+#[derive(Debug, Default)]
+pub struct Namenode {
+    files: BTreeMap<String, FileEntry>,
+    blocks: FxHashMap<BlockId, BlockMeta>,
+    next_block: u64,
+}
+
+impl Namenode {
+    pub fn new() -> Namenode {
+        Namenode::default()
+    }
+
+    /// Allocate a fresh block id with the given replica set.
+    pub fn allocate_block(&mut self, len: u64, replicas: Vec<NodeId>) -> BlockId {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        self.blocks.insert(
+            id,
+            BlockMeta {
+                id,
+                len,
+                replicas,
+            },
+        );
+        id
+    }
+
+    /// Finalize a file. Errors if the path already exists (files are
+    /// write-once, like HDFS).
+    pub fn commit_file(&mut self, entry: FileEntry) -> Result<()> {
+        if self.files.contains_key(&entry.path) {
+            return Err(ClydeError::Dfs(format!(
+                "file already exists: {}",
+                entry.path
+            )));
+        }
+        self.files.insert(entry.path.clone(), entry);
+        Ok(())
+    }
+
+    pub fn file(&self, path: &str) -> Result<&FileEntry> {
+        self.files
+            .get(path)
+            .ok_or_else(|| ClydeError::Dfs(format!("no such file: {path}")))
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn block(&self, id: BlockId) -> Result<&BlockMeta> {
+        self.blocks
+            .get(&id)
+            .ok_or_else(|| ClydeError::Dfs(format!("no such block: {id:?}")))
+    }
+
+    pub fn block_mut(&mut self, id: BlockId) -> Result<&mut BlockMeta> {
+        self.blocks
+            .get_mut(&id)
+            .ok_or_else(|| ClydeError::Dfs(format!("no such block: {id:?}")))
+    }
+
+    /// Remove a file, returning its block ids so the datanodes can free them.
+    pub fn delete(&mut self, path: &str) -> Result<Vec<BlockId>> {
+        let entry = self
+            .files
+            .remove(path)
+            .ok_or_else(|| ClydeError::Dfs(format!("no such file: {path}")))?;
+        for b in &entry.blocks {
+            self.blocks.remove(b);
+        }
+        Ok(entry.blocks)
+    }
+
+    /// Paths starting with `prefix`, in lexicographic order.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// All block metas of all files (used by re-replication).
+    pub fn all_blocks_mut(&mut self) -> impl Iterator<Item = &mut BlockMeta> {
+        self.blocks.values_mut()
+    }
+
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(path: &str, blocks: Vec<BlockId>) -> FileEntry {
+        FileEntry {
+            path: path.to_string(),
+            len: 0,
+            blocks,
+            group: None,
+        }
+    }
+
+    #[test]
+    fn block_ids_are_unique() {
+        let mut nn = Namenode::new();
+        let a = nn.allocate_block(1, vec![NodeId(0)]);
+        let b = nn.allocate_block(1, vec![NodeId(0)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn files_are_write_once() {
+        let mut nn = Namenode::new();
+        nn.commit_file(entry("/a", vec![])).unwrap();
+        assert!(nn.commit_file(entry("/a", vec![])).is_err());
+    }
+
+    #[test]
+    fn delete_frees_blocks() {
+        let mut nn = Namenode::new();
+        let b = nn.allocate_block(5, vec![NodeId(0)]);
+        nn.commit_file(entry("/a", vec![b])).unwrap();
+        let freed = nn.delete("/a").unwrap();
+        assert_eq!(freed, vec![b]);
+        assert!(nn.file("/a").is_err());
+        assert!(nn.block(b).is_err());
+        assert!(nn.delete("/a").is_err());
+    }
+
+    #[test]
+    fn list_prefix_is_sorted_and_scoped() {
+        let mut nn = Namenode::new();
+        for p in ["/x/2", "/x/1", "/y/1", "/x/10"] {
+            nn.commit_file(entry(p, vec![])).unwrap();
+        }
+        assert_eq!(nn.list_prefix("/x/"), vec!["/x/1", "/x/10", "/x/2"]);
+        assert_eq!(nn.list_prefix("/z"), Vec::<String>::new());
+        assert_eq!(nn.num_files(), 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cluster topology descriptions.
+//!
+//! The paper evaluates on two physical clusters (Section 6.2):
+//!
+//! * **Cluster A** — 9 nodes (1 master + 8 workers); each worker has two
+//!   quad-core AMD Opterons (8 cores), 16 GB RAM, and eight 250 GB SATA
+//!   disks; 1 Gbit Ethernet.
+//! * **Cluster B** — 42 nodes (2 masters + 40 workers); each worker has two
+//!   quad-core Intel Xeons (8 cores), 32 GB RAM, and five 500 GB SATA disks;
+//!   1 Gbit Ethernet.
+//!
+//! Both run 6 map slots and 1 reduce slot per node. [`ClusterSpec::cluster_a`]
+//! and [`ClusterSpec::cluster_b`] encode these configurations; the cost model
+//! in `clyde-mapred` prices jobs against them.
+
+use std::fmt;
+
+/// Identifier of a worker node (dense, `0..cluster.num_workers()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Hardware description of one worker node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Processor cores (the paper's nodes have 8).
+    pub cores: u32,
+    /// Main memory in bytes.
+    pub memory_bytes: u64,
+    /// Number of data disks.
+    pub disks: u32,
+    /// Sequential bandwidth of one disk, bytes/second (paper Section 6.6
+    /// measured 70–100 MB/s per disk with `dd`; we adopt the conservative
+    /// 70 MB/s the paper uses for its aggregate estimates).
+    pub disk_bw: f64,
+    /// Relative single-core speed (1.0 = cluster A's Opterons). The paper's
+    /// Q2.1 hash build takes 27 s on cluster A but 16 s on cluster B's
+    /// newer Xeons — a ~1.6x per-core difference the cost model must carry.
+    pub cpu_factor: f64,
+}
+
+impl NodeSpec {
+    /// Aggregate raw disk bandwidth of the node, bytes/second.
+    pub fn raw_disk_bw(&self) -> f64 {
+        f64::from(self.disks) * self.disk_bw
+    }
+}
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+/// A homogeneous cluster of worker nodes plus framework configuration.
+///
+/// Master nodes (jobtracker/namenode) are implicit: they do not store data or
+/// run tasks, matching the paper's setup where masters were reserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    pub name: String,
+    /// Per-worker hardware (homogeneous, like the paper's clusters).
+    pub node: NodeSpec,
+    /// Number of worker nodes (excludes masters).
+    pub workers: usize,
+    /// Network bandwidth per node, bytes/second (1 Gbit Ethernet ≈ 125 MB/s).
+    pub network_bw: f64,
+    /// Map slots per node (paper: 6).
+    pub map_slots: u32,
+    /// Reduce slots per node (paper: 1).
+    pub reduce_slots: u32,
+}
+
+impl ClusterSpec {
+    /// The paper's cluster A: 8 workers, 8 cores / 16 GB / 8×250 GB each.
+    pub fn cluster_a() -> ClusterSpec {
+        ClusterSpec {
+            name: "cluster-A".to_string(),
+            node: NodeSpec {
+                cores: 8,
+                memory_bytes: 16 * GB,
+                disks: 8,
+                disk_bw: 70.0 * MB as f64,
+                cpu_factor: 1.0,
+            },
+            workers: 8,
+            network_bw: 125.0 * MB as f64,
+            map_slots: 6,
+            reduce_slots: 1,
+        }
+    }
+
+    /// The paper's cluster B: 40 workers, 8 cores / 32 GB / 5×500 GB each.
+    pub fn cluster_b() -> ClusterSpec {
+        ClusterSpec {
+            name: "cluster-B".to_string(),
+            node: NodeSpec {
+                cores: 8,
+                memory_bytes: 32 * GB,
+                disks: 5,
+                disk_bw: 70.0 * MB as f64,
+                cpu_factor: 1.6,
+            },
+            workers: 40,
+            network_bw: 125.0 * MB as f64,
+            map_slots: 6,
+            reduce_slots: 1,
+        }
+    }
+
+    /// A small cluster for tests and examples: `workers` nodes with 4 cores,
+    /// 4 GB, 2 disks, 2 map slots.
+    pub fn tiny(workers: usize) -> ClusterSpec {
+        ClusterSpec {
+            name: format!("tiny-{workers}"),
+            node: NodeSpec {
+                cores: 4,
+                memory_bytes: 4 * GB,
+                disks: 2,
+                disk_bw: 70.0 * MB as f64,
+                cpu_factor: 1.0,
+            },
+            workers,
+            network_bw: 125.0 * MB as f64,
+            map_slots: 2,
+            reduce_slots: 1,
+        }
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// All worker node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.workers).map(NodeId)
+    }
+
+    /// Total map slots across the cluster (paper cluster A: 48).
+    pub fn total_map_slots(&self) -> u32 {
+        self.map_slots * self.workers as u32
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn total_reduce_slots(&self) -> u32 {
+        self.reduce_slots * self.workers as u32
+    }
+
+    /// Aggregate raw disk bandwidth of the whole cluster, bytes/second
+    /// (paper: 560 MB/s per node × 8 = 4.5 GB/s on A).
+    pub fn aggregate_raw_disk_bw(&self) -> f64 {
+        self.node.raw_disk_bw() * self.workers as f64
+    }
+
+    /// Effective replication: you cannot have more replicas than workers.
+    pub fn clamp_replication(&self, r: u32) -> u32 {
+        r.min(self.workers as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_matches_paper() {
+        let a = ClusterSpec::cluster_a();
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.node.cores, 8);
+        assert_eq!(a.node.disks, 8);
+        assert_eq!(a.total_map_slots(), 48); // paper: "48 map slots across cluster A"
+        assert_eq!(a.total_reduce_slots(), 8);
+        // Paper: "Conservatively assuming 70MB/s per disk would result in
+        // 560MB/s for cluster A's eight disks".
+        let per_node = a.node.raw_disk_bw() / (1 << 20) as f64;
+        assert!((per_node - 560.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_b_matches_paper() {
+        let b = ClusterSpec::cluster_b();
+        assert_eq!(b.workers, 40);
+        assert_eq!(b.node.memory_bytes, 32 * GB);
+        assert_eq!(b.node.disks, 5);
+        // Paper: "280MB/s for cluster B's four disks" — the paper says five
+        // 500GB disks but quotes 4 data disks' worth of bandwidth (one disk
+        // holds the OS). We keep 5 disks in the spec; the cost model's HDFS
+        // efficiency factor absorbs the difference.
+        assert!(b.node.raw_disk_bw() > 0.0);
+    }
+
+    #[test]
+    fn cluster_b_has_more_aggregate_bandwidth_than_a() {
+        assert!(
+            ClusterSpec::cluster_b().aggregate_raw_disk_bw()
+                > ClusterSpec::cluster_a().aggregate_raw_disk_bw()
+        );
+    }
+
+    #[test]
+    fn tiny_cluster_node_iteration() {
+        let t = ClusterSpec::tiny(3);
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(t.clamp_replication(3), 3);
+        assert_eq!(t.clamp_replication(5), 3);
+        assert_eq!(t.clamp_replication(0), 1);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(4).to_string(), "node4");
+    }
+}

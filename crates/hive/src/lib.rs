@@ -1,0 +1,27 @@
+//! A Hive-like baseline engine (paper Sections 6.1 and 6.3).
+//!
+//! This is the comparator system of the paper's evaluation: SQL-ish star
+//! queries executed the way Hive 0.x executed them, deliberately keeping
+//! every inefficiency the paper measures:
+//!
+//! * tables stored in **RCFile** (PAX) — the configuration of Section 6.2;
+//! * joins performed **one dimension at a time**, each as its own MapReduce
+//!   job whose intermediate result is written to the DFS and read back by
+//!   the next stage (Q2.1's three join stages read ~200 GB each);
+//! * two join plans, selectable per query:
+//!   [`JoinStrategy::Repartition`] — the sort-merge "common join" that
+//!   shuffles both sides over the network — and [`JoinStrategy::MapJoin`] —
+//!   the broadcast hash join of Figure 6, whose hash table is built on the
+//!   master, disseminated through the distributed cache, and **reloaded and
+//!   re-deserialized by every map task** (4,887 times in Q2.1's first
+//!   stage), with one copy per map slot in memory — the cause of the
+//!   cluster-A out-of-memory failures on Q3.1/Q4.1/Q4.2/Q4.3;
+//! * a separate group-by MapReduce job and a final order-by job.
+
+pub mod engine;
+pub mod mapjoin;
+pub mod repartition;
+pub mod stages;
+pub mod union;
+
+pub use engine::{Hive, HiveResult, JoinStrategy};

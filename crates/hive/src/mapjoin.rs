@@ -1,0 +1,161 @@
+//! The mapjoin (broadcast hash join) stage — paper Figure 6.
+//!
+//! The Hive master builds a hash table over the (filtered) dimension,
+//! serializes it, and disseminates it through the distributed cache. Each
+//! map task then loads and deserializes **its own copy** — once per task,
+//! once per slot in memory — and probes its local splits of the larger
+//! side. Both per-task reload cost (`state_load_bytes`) and per-slot memory
+//! duplication (`charge_memory_per_slot`) are accounted, because they are
+//! the two effects the paper blames for Hive's mapjoin behaviour
+//! (Section 6.3's 4,887 reloads; Section 6.4's cluster-A OOMs).
+
+use clyde_columnar::RcFileReader;
+use clyde_common::{rowcodec, ClydeError, Datum, FxHashMap, Result, Row, Schema};
+use clyde_dfs::Dfs;
+use clyde_mapred::engine::ClientArtifacts;
+use clyde_mapred::{DistCache, MapRunner, MapTaskContext, Reader};
+use clyde_ssb::loader::SsbLayout;
+use clyde_ssb::queries::{fact_preds_eval_row, DimJoin, FactPred};
+use clyde_ssb::schema as ssb_schema;
+use std::sync::Arc;
+
+/// Build the dimension hash table on the job client and publish it.
+///
+/// Returns the [`ClientArtifacts`] to submit the job with, plus the
+/// in-memory footprint one copy of the table will occupy in a map task.
+pub fn build_and_publish(
+    dfs: &Arc<Dfs>,
+    layout: &SsbLayout,
+    join: &DimJoin,
+    cache_key: &str,
+) -> Result<(ClientArtifacts, u64)> {
+    let dim_schema = ssb_schema::schema_of(&join.dimension)
+        .ok_or_else(|| ClydeError::Plan(format!("unknown dimension {}", join.dimension)))?;
+    let reader = RcFileReader::open(dfs, &layout.table_rc(&join.dimension))?;
+    let rows = reader.read_all_rows(dfs)?;
+    let pred = join.predicate.compile(&dim_schema)?;
+    let pk_idx = dim_schema.index_of(&join.pk)?;
+    let aux_idx: Vec<usize> = join
+        .aux
+        .iter()
+        .map(|a| dim_schema.index_of(a))
+        .collect::<Result<_>>()?;
+
+    let mut serialized: Vec<Row> = Vec::new();
+    for r in &rows {
+        if !pred.eval(r) {
+            continue;
+        }
+        let mut entry = Row::with_capacity(1 + aux_idx.len());
+        entry.push(r.at(pk_idx).clone());
+        for &i in &aux_idx {
+            entry.push(r.at(i).clone());
+        }
+        serialized.push(entry);
+    }
+    // Hive-era Java in-memory footprint per entry: HashMap$Entry + boxed
+    // key + deserialized Writable row object graph (~560 B) plus ~120 B per
+    // auxiliary field. Calibrated against Section 6.3 ("100MB compressed on
+    // disk and about 500MB decompressed in memory" for Q2.1's 400 K-entry
+    // Supplier table) and against the OOM boundary: with 6 slots each
+    // holding a copy, the customer-joining queries (Q3.1, Q4.*) must exceed
+    // cluster A's 16 GB but fit cluster B's 32 GB (Section 6.4). Clydesdale
+    // avoids this footprint by design (compact shared tables), which is why
+    // its memory model in `clydesdale::hashtable` is byte-accurate instead.
+    let mem_bytes = serialized.len() as u64 * (560 + 120 * aux_idx.len() as u64);
+    let payload = rowcodec::write_rows(&serialized);
+    let cache = Arc::new(DistCache::new());
+    cache.publish(cache_key, bytes::Bytes::from(payload));
+    Ok((
+        ClientArtifacts {
+            cache,
+            build_rows: rows.len() as u64,
+        },
+        mem_bytes,
+    ))
+}
+
+/// The map task of a mapjoin stage: load the broadcast table, probe the
+/// local split, emit joined rows (map-only; output goes to the stage's
+/// DFS directory).
+pub struct MapJoinRunner {
+    pub cache_key: String,
+    /// Index of the join's foreign key in the incoming row schema.
+    pub fk_idx: usize,
+    /// Fact predicates applied on the stream (first stage only) with the
+    /// schema to resolve them against.
+    pub fact_preds: Vec<FactPred>,
+    pub input_schema: Schema,
+    /// One copy of the hash table costs this much memory per map slot.
+    pub table_mem_bytes: u64,
+}
+
+impl MapRunner for MapJoinRunner {
+    fn run(&self, ctx: &MapTaskContext<'_>) -> Result<()> {
+        // Every task reloads and re-deserializes the table: Hive has no JVM
+        // reuse here (paper Section 6.4, reason four).
+        let payload = ctx.dist_cache.fetch(ctx.node, &self.cache_key)?;
+        // The reload cost is priced on the *materialized* (decompressed,
+        // Java object graph) size, not the compact wire bytes: the paper's
+        // stage 3 pays ~70 s per task re-inflating Supplier's 500 MB table.
+        ctx.add_cost(|c| c.state_load_bytes += self.table_mem_bytes);
+        ctx.charge_memory_per_slot(self.table_mem_bytes)?;
+        let entries = rowcodec::read_rows(&payload)?;
+        let mut table: FxHashMap<i64, Row> = FxHashMap::default();
+        for e in entries {
+            let pk = e
+                .at(0)
+                .as_i64()
+                .ok_or_else(|| ClydeError::Plan("non-integer dimension key".into()))?;
+            let aux = Row::new(e.values()[1..].to_vec());
+            table.insert(pk, aux);
+        }
+
+        for part in 0..ctx.split.spec.num_parts() {
+            let reader = ctx.input.open(ctx.split, part, &ctx.io)?;
+            let mut rows_seen = 0u64;
+            let Reader::Rows(mut r) = reader else {
+                return Err(ClydeError::MapReduce(
+                    "hive mapjoin expects row readers".into(),
+                ));
+            };
+            while let Some((_, row)) = r.next()? {
+                rows_seen += 1;
+                if !self.fact_preds.is_empty()
+                    && !fact_preds_eval_row(&self.fact_preds, &row, &self.input_schema)?
+                {
+                    continue;
+                }
+                let fk = row.at(self.fk_idx).as_i64().ok_or_else(|| {
+                    ClydeError::Plan("non-integer foreign key".into())
+                })?;
+                if let Some(aux) = table.get(&fk) {
+                    ctx.emit(&Row::empty(), row.concat(aux));
+                }
+            }
+            ctx.add_cost(|c| c.deser_rows += rows_seen);
+        }
+        Ok(())
+    }
+}
+
+/// The output schema of a mapjoin stage: input columns + the join's aux.
+pub fn joined_schema(input: &Schema, join: &DimJoin) -> Result<Schema> {
+    let dim_schema = ssb_schema::schema_of(&join.dimension)
+        .ok_or_else(|| ClydeError::Plan(format!("unknown dimension {}", join.dimension)))?;
+    let mut fields = input.fields().to_vec();
+    for a in &join.aux {
+        fields.push(dim_schema.field(dim_schema.index_of(a)?).clone());
+    }
+    Ok(Schema::new(fields))
+}
+
+/// Estimate of a decoded datum row set size, used in tests.
+pub fn table_entry(pk: i64, aux: Vec<Datum>) -> Row {
+    let mut r = Row::with_capacity(1 + aux.len());
+    r.push(Datum::I64(pk));
+    for d in aux {
+        r.push(d);
+    }
+    r
+}

@@ -1,0 +1,145 @@
+//! The repartition ("common") join stage.
+//!
+//! Hive's robust fallback plan (paper Section 6.1): mappers read *both*
+//! tables, tag each record with its source, and emit it keyed by the join
+//! column; records of both sides with the same key meet at a reducer, which
+//! produces the joined rows. The entire fact side crosses the network — the
+//! shuffle cost that makes this plan slow (Q2.1 stage 1: 9,720 s).
+
+use crate::union::{split_tag, TAG_LEFT, TAG_RIGHT};
+use clyde_common::{ClydeError, Datum, Result, Row, Schema};
+use clyde_mapred::runner::Mapper;
+use clyde_mapred::shuffle::Reducer;
+use clyde_mapred::MapTaskContext;
+use clyde_ssb::queries::{fact_preds_eval_row, CompiledDimPred, FactPred};
+
+/// Mapper for the tagged two-source input: fact rows keyed by FK, dimension
+/// rows filtered then keyed by PK.
+pub struct RepartitionMapper {
+    /// FK index in the fact-side (left) schema.
+    pub fk_idx: usize,
+    /// PK index in the dimension-side (right) scan schema.
+    pub pk_idx: usize,
+    /// Aux column indices in the dimension-side scan schema.
+    pub aux_idx: Vec<usize>,
+    /// Dimension predicate, compiled against the dimension scan schema.
+    pub dim_pred: CompiledDimPred,
+    /// Fact predicates (first stage only) + schema to resolve them.
+    pub fact_preds: Vec<FactPred>,
+    pub left_schema: Schema,
+}
+
+impl Mapper for RepartitionMapper {
+    fn map(&self, _key: &Row, value: &Row, ctx: &MapTaskContext<'_>) -> Result<()> {
+        let (row, tag) = split_tag(value.clone());
+        match tag {
+            TAG_LEFT => {
+                if !self.fact_preds.is_empty()
+                    && !fact_preds_eval_row(&self.fact_preds, &row, &self.left_schema)?
+                {
+                    return Ok(());
+                }
+                let fk = row.at(self.fk_idx).as_i64().ok_or_else(|| {
+                    ClydeError::Plan("non-integer foreign key".into())
+                })?;
+                // Value = [tag] ++ full row, so the reducer can separate sides.
+                let mut v = Row::with_capacity(row.len() + 1);
+                v.push(Datum::I32(TAG_LEFT));
+                for d in row.iter() {
+                    v.push(d.clone());
+                }
+                ctx.emit(&clyde_common::row![fk], v);
+            }
+            TAG_RIGHT => {
+                if !self.dim_pred.eval(&row) {
+                    return Ok(());
+                }
+                let pk = row.at(self.pk_idx).as_i64().ok_or_else(|| {
+                    ClydeError::Plan("non-integer dimension key".into())
+                })?;
+                let mut v = Row::with_capacity(self.aux_idx.len() + 1);
+                v.push(Datum::I32(TAG_RIGHT));
+                for &i in &self.aux_idx {
+                    v.push(row.at(i).clone());
+                }
+                ctx.emit(&clyde_common::row![pk], v);
+            }
+            other => {
+                return Err(ClydeError::MapReduce(format!(
+                    "unexpected source tag {other}"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reducer: join the two sides of one key. Dimension keys are unique in SSB,
+/// but the implementation handles the general M×N case like Hive's.
+pub struct RepartitionReducer;
+
+impl Reducer for RepartitionReducer {
+    fn reduce(&self, _key: &Row, values: &[Row], out: &mut Vec<Row>) -> Result<()> {
+        let mut dims: Vec<Row> = Vec::new();
+        let mut facts: Vec<Row> = Vec::new();
+        for v in values {
+            let tag = v.at(0).as_i32().ok_or_else(|| {
+                ClydeError::MapReduce("reducer value missing source tag".into())
+            })?;
+            let rest = Row::new(v.values()[1..].to_vec());
+            if tag == TAG_RIGHT {
+                dims.push(rest);
+            } else {
+                facts.push(rest);
+            }
+        }
+        for f in &facts {
+            for d in &dims {
+                out.push(f.concat(d));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clyde_common::row;
+
+    #[test]
+    fn reducer_joins_sides() {
+        let values = vec![
+            row![0i32, 10i32, 100i32], // fact (10, 100)
+            row![1i32, "ASIA"],        // dim aux
+            row![0i32, 20i32, 200i32], // fact (20, 200)
+        ];
+        let mut out = Vec::new();
+        RepartitionReducer
+            .reduce(&row![5i64], &values, &mut out)
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![row![10i32, 100i32, "ASIA"], row![20i32, 200i32, "ASIA"]]
+        );
+    }
+
+    #[test]
+    fn reducer_with_no_dim_side_emits_nothing() {
+        let values = vec![row![0i32, 10i32]];
+        let mut out = Vec::new();
+        RepartitionReducer
+            .reduce(&row![5i64], &values, &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reducer_rejects_untagged_values() {
+        let values = vec![row!["oops"]];
+        let mut out = Vec::new();
+        assert!(RepartitionReducer
+            .reduce(&row![5i64], &values, &mut out)
+            .is_err());
+    }
+}

@@ -1,0 +1,571 @@
+//! Job execution.
+//!
+//! The engine really runs jobs: one worker thread per simulated cluster node
+//! drains that node's task queue, tasks read real bytes from the simulated
+//! DFS, and the shuffle sorts and merges real records. Simulated time never
+//! depends on wall-clock — it is derived afterwards from the recorded
+//! [`TaskCost`] counters, so results and costs are
+//! deterministic no matter how the OS schedules the threads.
+//!
+//! Failed map tasks are **re-executed** on alternate nodes up to the job's
+//! attempt budget — Hadoop's fault-tolerance contract, one of the properties
+//! the paper keeps by staying on an unmodified platform. Out-of-memory
+//! failures are not retried: exhausting a deterministic resource model would
+//! fail identically everywhere (and this is how the paper's cluster-A
+//! mapjoin queries "did not complete").
+
+use crate::cost::{CostParams, TaskCost};
+use crate::distcache::DistCache;
+use crate::input::InputSplit;
+use crate::job::{JobProfile, JobResult, JobSpec, OutputSpec, TaskProfile};
+use crate::scheduler;
+use crate::shuffle;
+use crate::task::{
+    MapOutputBuffer, MapTaskContext, MemoryLedger, MemoryTracker, NodeState, TaskIo,
+};
+use clyde_common::{keycodec, rowcodec, ClydeError, Result, Row};
+use clyde_dfs::{Dfs, NodeId, NodeLocalStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Artifacts prepared by the job client before submission (Hive's master
+/// builds mapjoin hash tables here).
+#[derive(Default, Clone)]
+pub struct ClientArtifacts {
+    pub cache: Arc<DistCache>,
+    /// Rows the client scanned/inserted building the artifacts.
+    pub build_rows: u64,
+}
+
+/// Output of one executed map task, waiting for the shuffle.
+struct TaskOutput {
+    records: Vec<(Vec<u8>, Row)>,
+    cost: TaskCost,
+    node: NodeId,
+    output_file: Option<String>,
+}
+
+/// Everything a map-task attempt needs, bundled so the first parallel wave
+/// and the sequential retry path share one execution function.
+struct MapTaskEnv<'a> {
+    spec: &'a JobSpec,
+    splits: &'a [InputSplit],
+    dfs: &'a Arc<Dfs>,
+    local: &'a Arc<NodeLocalStore>,
+    cache: &'a Arc<DistCache>,
+    node_states: &'a [Arc<NodeState>],
+    memories: &'a [Arc<MemoryTracker>],
+    ledger: &'a Arc<MemoryLedger>,
+    concurrency: u32,
+    threads: u32,
+    map_only: bool,
+}
+
+impl MapTaskEnv<'_> {
+    /// Execute one attempt of one map task on `node`.
+    fn exec(&self, task_idx: usize, node: NodeId) -> Result<TaskOutput> {
+        let split = &self.splits[task_idx];
+        let io = TaskIo::new(Arc::clone(self.dfs), node);
+        let out = Arc::new(MapOutputBuffer::new());
+        let cost = Arc::new(Mutex::new(TaskCost {
+            threads: self.threads,
+            ..TaskCost::new()
+        }));
+        let state = if self.spec.reuse_jvm {
+            Arc::clone(&self.node_states[node.0])
+        } else {
+            Arc::new(NodeState::new())
+        };
+        let memory = Arc::clone(&self.memories[node.0]);
+        let ctx = MapTaskContext {
+            conf: &self.spec.conf,
+            split,
+            input: &*self.spec.input,
+            io: io.clone(),
+            node,
+            threads: self.threads,
+            slot_concurrency: self.concurrency,
+            node_state: state,
+            memory: Arc::clone(&memory),
+            ledger: Arc::clone(self.ledger),
+            task_charges: Mutex::new(0),
+            local_store: Arc::clone(self.local),
+            dist_cache: Arc::clone(self.cache),
+            out: Arc::clone(&out),
+            cost: Arc::clone(&cost),
+        };
+        let run_result = self.spec.map_runner.run(&ctx);
+        // Transient per-task memory dies with the attempt, success or not.
+        memory.release(*ctx.task_charges.lock());
+        drop(ctx);
+        run_result?;
+
+        let mut task_cost = *cost.lock();
+        task_cost.local_bytes += io.stats.local();
+        task_cost.remote_bytes += io.stats.remote();
+
+        let mut records = Arc::try_unwrap(out)
+            .map_err(|_| ClydeError::MapReduce("collector leaked out of the map task".into()))?
+            .into_records();
+
+        let mut output_file = None;
+        if self.map_only {
+            match &self.spec.output {
+                OutputSpec::Memory => {}
+                OutputSpec::DfsDir(dir) => {
+                    let rows: Vec<Row> = std::mem::take(&mut records)
+                        .into_iter()
+                        .map(|(k, v)| Ok(keycodec::decode_row(&k)?.concat(&v)))
+                        .collect::<Result<_>>()?;
+                    let path = format!("{dir}/part-m-{task_idx:05}");
+                    // A previous attempt may have died between committing its
+                    // file and reporting success; re-attempts supersede it.
+                    if self.dfs.exists(&path) {
+                        self.dfs.delete(&path)?;
+                    }
+                    let payload = rowcodec::write_rows(&rows);
+                    task_cost.output_bytes += payload.len() as u64;
+                    self.dfs.write_file(&path, None, &payload)?;
+                    output_file = Some(path);
+                }
+            }
+        } else {
+            // Map-side sort (and combine) before the shuffle.
+            shuffle::sort_records(&mut records);
+            if let Some(comb) = &self.spec.combiner {
+                records = shuffle::combine_sorted(records, &**comb)?;
+            }
+        }
+
+        Ok(TaskOutput {
+            records,
+            cost: task_cost,
+            node,
+            output_file,
+        })
+    }
+
+    /// Deterministic alternate node for retry `attempt` (1-based retries):
+    /// walk the split's preferred hosts, then the whole cluster, skipping the
+    /// node that just failed.
+    fn retry_node(&self, task_idx: usize, failed: NodeId, attempt: u32) -> NodeId {
+        let n = self.memories.len();
+        let split = &self.splits[task_idx];
+        let mut candidates: Vec<NodeId> = split
+            .hosts
+            .iter()
+            .copied()
+            .filter(|h| h.0 < n)
+            .collect();
+        for i in 0..n {
+            let node = NodeId(i);
+            if !candidates.contains(&node) {
+                candidates.push(node);
+            }
+        }
+        candidates.retain(|c| *c != failed);
+        if candidates.is_empty() {
+            return failed; // single-node cluster: nowhere else to go
+        }
+        candidates[(attempt as usize - 1) % candidates.len()]
+    }
+}
+
+/// The MapReduce engine bound to one simulated cluster.
+pub struct Engine {
+    dfs: Arc<Dfs>,
+    local: Arc<NodeLocalStore>,
+    params: CostParams,
+}
+
+impl Engine {
+    pub fn new(dfs: Arc<Dfs>) -> Engine {
+        let nodes = dfs.cluster().num_workers();
+        Engine {
+            dfs,
+            local: Arc::new(NodeLocalStore::new(nodes)),
+            params: CostParams::paper(),
+        }
+    }
+
+    pub fn with_params(dfs: Arc<Dfs>, params: CostParams) -> Engine {
+        let nodes = dfs.cluster().num_workers();
+        Engine {
+            dfs,
+            local: Arc::new(NodeLocalStore::new(nodes)),
+            params,
+        }
+    }
+
+    pub fn dfs(&self) -> &Arc<Dfs> {
+        &self.dfs
+    }
+
+    pub fn local_store(&self) -> &Arc<NodeLocalStore> {
+        &self.local
+    }
+
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Run a job with no client-side artifacts.
+    pub fn run_job(&self, spec: &JobSpec) -> Result<JobResult> {
+        self.run_job_with(spec, ClientArtifacts::default())
+    }
+
+    /// Run a job, making `client.cache` available to every task.
+    pub fn run_job_with(&self, spec: &JobSpec, client: ClientArtifacts) -> Result<JobResult> {
+        let cluster = self.dfs.cluster().clone();
+        let n = cluster.num_workers();
+        let splits = spec.input.splits(&self.dfs, &spec.conf)?;
+        let concurrency = scheduler::concurrency_per_node(&cluster, spec.declared_task_memory);
+        let assignment = scheduler::assign_map_tasks(&splits, &cluster);
+        let threads = spec.task_threads.unwrap_or(1).max(1);
+
+        let node_states: Vec<Arc<NodeState>> =
+            (0..n).map(|_| Arc::new(NodeState::new())).collect();
+        let memories: Vec<Arc<MemoryTracker>> = (0..n)
+            .map(|_| Arc::new(MemoryTracker::new(cluster.node.memory_bytes)))
+            .collect();
+        let ledger = Arc::new(MemoryLedger::new());
+        let env = MapTaskEnv {
+            spec,
+            splits: &splits,
+            dfs: &self.dfs,
+            local: &self.local,
+            cache: &client.cache,
+            node_states: &node_states,
+            memories: &memories,
+            ledger: &ledger,
+            concurrency,
+            threads,
+            map_only: spec.reducer.is_none(),
+        };
+
+        let mut tasks_by_node: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in assignment.iter().enumerate() {
+            tasks_by_node[node.0].push(i);
+        }
+
+        // --- Map phase, first wave: one worker thread per node. Failures
+        // are collected, not fatal (except OOM). ---
+        let outputs: Vec<Mutex<Option<TaskOutput>>> =
+            splits.iter().map(|_| Mutex::new(None)).collect();
+        let failures: Mutex<Vec<(usize, NodeId, ClydeError)>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for (node_idx, task_list) in tasks_by_node.iter().enumerate() {
+                if task_list.is_empty() {
+                    continue;
+                }
+                let node = NodeId(node_idx);
+                let env = &env;
+                let outputs = &outputs;
+                let failures = &failures;
+                scope.spawn(move || {
+                    for &task_idx in task_list {
+                        match env.exec(task_idx, node) {
+                            Ok(out) => *outputs[task_idx].lock() = Some(out),
+                            Err(e) => failures.lock().push((task_idx, node, e)),
+                        }
+                    }
+                });
+            }
+        });
+
+        // --- Retry wave: re-execute failed tasks on alternate nodes. ---
+        let mut failed_attempts = 0u32;
+        let mut failures = failures.into_inner();
+        failures.sort_by_key(|(idx, _, _)| *idx); // deterministic order
+        let max_attempts = spec.max_task_attempts.max(1);
+        for (task_idx, first_node, mut last_err) in failures {
+            if last_err.is_oom() {
+                return Err(last_err);
+            }
+            failed_attempts += 1;
+            let mut done = false;
+            let mut prev_node = first_node;
+            for attempt in 1..max_attempts {
+                let node = env.retry_node(task_idx, prev_node, attempt);
+                match env.exec(task_idx, node) {
+                    Ok(out) => {
+                        *outputs[task_idx].lock() = Some(out);
+                        done = true;
+                        break;
+                    }
+                    Err(e) if e.is_oom() => return Err(e),
+                    Err(e) => {
+                        failed_attempts += 1;
+                        last_err = e;
+                        prev_node = node;
+                    }
+                }
+            }
+            if !done {
+                return Err(ClydeError::MapReduce(format!(
+                    "map task {task_idx} failed after {max_attempts} attempts: {last_err}"
+                )));
+            }
+        }
+
+        let mut task_outputs: Vec<TaskOutput> = Vec::with_capacity(splits.len());
+        for o in outputs {
+            task_outputs.push(o.into_inner().ok_or_else(|| {
+                ClydeError::MapReduce("map task produced no output record".into())
+            })?);
+        }
+
+        let map_tasks: Vec<TaskProfile> = task_outputs
+            .iter()
+            .map(|t| TaskProfile {
+                node: t.node,
+                cost: t.cost,
+            })
+            .collect();
+        let total_map = map_tasks
+            .iter()
+            .fold(TaskCost::new(), |acc, t| acc.merge(&t.cost));
+        let locality = {
+            let total = total_map.local_bytes + total_map.remote_bytes;
+            if total == 0 {
+                1.0
+            } else {
+                total_map.local_bytes as f64 / total as f64
+            }
+        };
+
+        let mut rows: Vec<Row> = Vec::new();
+        let mut output_files: Vec<String> = Vec::new();
+        let mut reduce_tasks: Vec<TaskProfile> = Vec::new();
+        let mut shuffle_bytes = 0u64;
+
+        if env.map_only {
+            match &spec.output {
+                OutputSpec::Memory => {
+                    for t in &mut task_outputs {
+                        for (k, v) in std::mem::take(&mut t.records) {
+                            rows.push(keycodec::decode_row(&k)?.concat(&v));
+                        }
+                    }
+                }
+                OutputSpec::DfsDir(_) => {
+                    output_files
+                        .extend(task_outputs.iter_mut().filter_map(|t| t.output_file.take()));
+                }
+            }
+        } else {
+            let reducer = spec.reducer.as_ref().expect("reduce path requires reducer");
+            let num_reducers = spec.num_reducers.max(1);
+            // Partition every task's sorted output.
+            let mut runs: Vec<Vec<Vec<(Vec<u8>, Row)>>> =
+                (0..num_reducers).map(|_| Vec::new()).collect();
+            for t in &mut task_outputs {
+                let mut per_part: Vec<Vec<(Vec<u8>, Row)>> =
+                    (0..num_reducers).map(|_| Vec::new()).collect();
+                for (k, v) in std::mem::take(&mut t.records) {
+                    let p = shuffle::partition_of(&k, num_reducers);
+                    shuffle_bytes += (k.len() + v.heap_size()) as u64;
+                    per_part[p].push((k, v));
+                }
+                for (p, run) in per_part.into_iter().enumerate() {
+                    if !run.is_empty() {
+                        runs[p].push(run);
+                    }
+                }
+            }
+
+            let reduce_nodes = scheduler::assign_reduce_tasks(num_reducers, &cluster);
+            for (r, node) in reduce_nodes.iter().enumerate() {
+                let merged = shuffle::merge_sorted_runs(std::mem::take(&mut runs[r]));
+                let mut cost = TaskCost::new();
+                cost.deser_rows = merged.len() as u64;
+                let mut out_rows = Vec::new();
+                shuffle::reduce_sorted(&merged, &**reducer, &mut out_rows)?;
+                match &spec.output {
+                    OutputSpec::Memory => rows.append(&mut out_rows),
+                    OutputSpec::DfsDir(dir) => {
+                        let path = format!("{dir}/part-r-{r:05}");
+                        let payload = rowcodec::write_rows(&out_rows);
+                        cost.output_bytes = payload.len() as u64;
+                        self.dfs.write_file(&path, None, &payload)?;
+                        output_files.push(path);
+                    }
+                }
+                reduce_tasks.push(TaskProfile { node: *node, cost });
+            }
+        }
+
+        let profile = JobProfile {
+            name: spec.name.clone(),
+            map_tasks,
+            reduce_tasks,
+            map_concurrency: concurrency,
+            shuffle_bytes,
+            client_build_rows: client.build_rows,
+            client_publish_bytes: client.cache.disseminated_bytes(),
+            memory_per_slot: ledger.per_slot(),
+            memory_shared: ledger.shared(),
+            failed_attempts,
+        };
+        let cost = profile.price(&self.params, &cluster)?;
+        Ok(JobResult {
+            rows,
+            output_files,
+            profile,
+            cost,
+            locality,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::VecInputFormat;
+    use crate::input::{InputFormat, Reader};
+    use crate::runner::{FnMapRunner, FnMapper, RowMapRunner};
+    use crate::shuffle::FnReducer;
+    use crate::JobConf;
+    use clyde_common::row;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Wraps an input format, failing `open` for split 0 on its first
+    /// `failures` calls — a crash-on-read fault injection.
+    struct FlakyInputFormat {
+        inner: VecInputFormat,
+        failures: AtomicU32,
+    }
+
+    impl InputFormat for FlakyInputFormat {
+        fn splits(&self, dfs: &Dfs, conf: &JobConf) -> Result<Vec<InputSplit>> {
+            self.inner.splits(dfs, conf)
+        }
+
+        fn open(
+            &self,
+            split: &InputSplit,
+            part: usize,
+            io: &TaskIo,
+        ) -> Result<Reader> {
+            if split.index == 0 && self.failures.fetch_update(
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                |v| if v > 0 { Some(v - 1) } else { None },
+            ).is_ok() {
+                return Err(ClydeError::MapReduce("injected split-0 failure".into()));
+            }
+            self.inner.open(split, part, io)
+        }
+    }
+
+    fn sum_job(input: Arc<dyn InputFormat>) -> JobSpec {
+        let mapper = RowMapRunner::new(FnMapper(|_k: &Row, v: &Row, ctx: &_| {
+            ctx.emit(&row![0i64], v.clone());
+            Ok(())
+        }));
+        let mut spec = JobSpec::new("sum", input, Arc::new(mapper));
+        spec.reducer = Some(Arc::new(FnReducer(
+            |_k: &Row, values: &[Row], out: &mut Vec<Row>| {
+                let s: i64 = values.iter().map(|v| v.at(0).as_i64().unwrap()).sum();
+                out.push(row![s]);
+                Ok(())
+            },
+        )));
+        spec.num_reducers = 1;
+        spec
+    }
+
+    fn rows() -> Vec<Row> {
+        (1..=10i64).map(|i| row![i]).collect()
+    }
+
+    #[test]
+    fn transient_task_failure_is_retried_on_another_node() {
+        let dfs = Dfs::for_tests(3);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let flaky = FlakyInputFormat {
+            inner: VecInputFormat::new(rows(), 3),
+            failures: AtomicU32::new(1),
+        };
+        let spec = sum_job(Arc::new(flaky));
+        let result = engine.run_job(&spec).unwrap();
+        assert_eq!(result.rows, vec![row![55i64]]);
+        assert_eq!(result.profile.failed_attempts, 1);
+    }
+
+    #[test]
+    fn repeated_transient_failures_exhaust_then_succeed_within_budget() {
+        let dfs = Dfs::for_tests(4);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let flaky = FlakyInputFormat {
+            inner: VecInputFormat::new(rows(), 2),
+            failures: AtomicU32::new(3), // attempts 1..3 fail, 4th succeeds
+        };
+        let spec = sum_job(Arc::new(flaky)); // max_task_attempts = 4
+        let result = engine.run_job(&spec).unwrap();
+        assert_eq!(result.rows, vec![row![55i64]]);
+        assert_eq!(result.profile.failed_attempts, 3);
+    }
+
+    #[test]
+    fn permanent_failure_fails_the_job_after_the_attempt_budget() {
+        let dfs = Dfs::for_tests(3);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let flaky = FlakyInputFormat {
+            inner: VecInputFormat::new(rows(), 2),
+            failures: AtomicU32::new(u32::MAX), // never recovers
+        };
+        let spec = sum_job(Arc::new(flaky));
+        let err = engine.run_job(&spec).unwrap_err();
+        assert!(err.to_string().contains("4 attempts"), "{err}");
+    }
+
+    #[test]
+    fn oom_is_not_retried() {
+        let dfs = Dfs::for_tests(2); // 4 GB nodes
+        let engine = Engine::new(Arc::clone(&dfs));
+        let attempts = Arc::new(AtomicU32::new(0));
+        let a2 = Arc::clone(&attempts);
+        let runner = FnMapRunner(move |ctx: &MapTaskContext<'_>| {
+            a2.fetch_add(1, Ordering::SeqCst);
+            ctx.charge_memory_shared(1 << 40)?; // 1 TB
+            Ok(())
+        });
+        let spec = JobSpec::new(
+            "oom",
+            Arc::new(VecInputFormat::new(rows(), 1)),
+            Arc::new(runner),
+        );
+        let err = engine.run_job(&spec).unwrap_err();
+        assert!(err.is_oom());
+        assert_eq!(attempts.load(Ordering::SeqCst), 1, "OOM must not retry");
+    }
+
+    #[test]
+    fn node_death_mid_job_is_survived_by_retries() {
+        // Data with replication 2 on 3 nodes; kill one node's replicas
+        // before running: tasks preferring that node fail their reads and
+        // retry elsewhere against surviving replicas.
+        let dfs = Dfs::for_tests(3);
+        let payload = rowcodec::write_rows(&rows());
+        dfs.write_file("/in/part-00000", None, &payload).unwrap();
+        let victim = dfs.hosts("/in/part-00000").unwrap()[0];
+
+        struct DfsRowsFormat;
+        impl InputFormat for DfsRowsFormat {
+            fn splits(&self, dfs: &Dfs, _conf: &JobConf) -> Result<Vec<InputSplit>> {
+                crate::formats::RowBinInputFormat::new("/in").splits(dfs, &JobConf::new())
+            }
+            fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
+                crate::formats::RowBinInputFormat::new("/in").open(split, part, io)
+            }
+        }
+
+        let engine = Engine::new(Arc::clone(&dfs));
+        dfs.kill_node(victim);
+        let spec = sum_job(Arc::new(DfsRowsFormat));
+        let result = engine.run_job(&spec).unwrap();
+        assert_eq!(result.rows, vec![row![55i64]]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Job descriptions, results, and execution profiles.
+
+use crate::conf::JobConf;
+use crate::cost::{makespan, shuffle_time, CostParams, JobCost, TaskCost};
+use crate::input::InputFormat;
+use crate::runner::MapRunner;
+use crate::shuffle::Reducer;
+use clyde_common::{ClydeError, Result, Row};
+use clyde_dfs::{ClusterSpec, NodeId};
+use std::sync::Arc;
+
+/// Where a job's output goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputSpec {
+    /// Collected in memory and returned in [`JobResult::rows`].
+    Memory,
+    /// Written to DFS part files under this directory (map-only jobs write
+    /// `part-m-*` per map task; reduce jobs write `part-r-*` per reducer),
+    /// in the row-binary format readable by `formats::RowBinInputFormat`.
+    DfsDir(String),
+}
+
+/// Everything needed to run one MapReduce job.
+pub struct JobSpec {
+    pub name: String,
+    pub conf: JobConf,
+    pub input: Arc<dyn InputFormat>,
+    pub map_runner: Arc<dyn MapRunner>,
+    pub combiner: Option<Arc<dyn Reducer>>,
+    pub reducer: Option<Arc<dyn Reducer>>,
+    /// Number of reduce partitions; ignored if `reducer` is `None`.
+    pub num_reducers: usize,
+    pub output: OutputSpec,
+    /// Memory the job declares per map task for the capacity scheduler;
+    /// 0 means unset (all slots usable). Clydesdale marks its tasks large so
+    /// only one runs per node (paper Section 5.2).
+    pub declared_task_memory: u64,
+    /// Threads each map task may use. `None` = 1 (Hadoop default).
+    pub task_threads: Option<u32>,
+    /// Whether per-node state survives across the job's tasks (JVM reuse).
+    pub reuse_jvm: bool,
+    /// Maximum execution attempts per map task (Hadoop defaults to 4).
+    /// Out-of-memory failures are never retried.
+    pub max_task_attempts: u32,
+}
+
+impl JobSpec {
+    /// A minimal spec with the common defaults.
+    pub fn new(
+        name: impl Into<String>,
+        input: Arc<dyn InputFormat>,
+        map_runner: Arc<dyn MapRunner>,
+    ) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            conf: JobConf::new(),
+            input,
+            map_runner,
+            combiner: None,
+            reducer: None,
+            num_reducers: 0,
+            output: OutputSpec::Memory,
+            declared_task_memory: 0,
+            task_threads: None,
+            reuse_jvm: true,
+            max_task_attempts: 4,
+        }
+    }
+}
+
+/// Execution record of one task.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskProfile {
+    pub node: NodeId,
+    pub cost: TaskCost,
+}
+
+/// Hardware-independent record of one job's execution, priceable against any
+/// cluster spec and scalable to other scale factors.
+#[derive(Debug, Clone, Default)]
+pub struct JobProfile {
+    pub name: String,
+    pub map_tasks: Vec<TaskProfile>,
+    pub reduce_tasks: Vec<TaskProfile>,
+    /// Concurrent map tasks per node the scheduler admitted.
+    pub map_concurrency: u32,
+    /// Bytes crossing the network in the shuffle (post-combiner).
+    pub shuffle_bytes: u64,
+    /// Rows the job client processed before submission (Hive's master-side
+    /// hash-table builds for mapjoin).
+    pub client_build_rows: u64,
+    /// Bytes the client published through the distributed cache.
+    pub client_publish_bytes: u64,
+    /// Peak per-slot-duplicated memory any task charged (bytes).
+    pub memory_per_slot: u64,
+    /// Peak node-shared memory any task charged (bytes).
+    pub memory_shared: u64,
+    /// Map-task attempts that failed and were retried (fault tolerance).
+    pub failed_attempts: u32,
+}
+
+impl JobProfile {
+    /// Sum of all map-task counters.
+    pub fn total_map_cost(&self) -> TaskCost {
+        self.map_tasks
+            .iter()
+            .fold(TaskCost::new(), |acc, t| acc.merge(&t.cost))
+    }
+
+    /// Sum of all reduce-task counters.
+    pub fn total_reduce_cost(&self) -> TaskCost {
+        self.reduce_tasks
+            .iter()
+            .fold(TaskCost::new(), |acc, t| acc.merge(&t.cost))
+    }
+
+    /// Price this profile on a cluster. Errors with `OutOfMemory` when the
+    /// per-slot memory duplication exceeds node RAM — the paper's cluster-A
+    /// mapjoin failure mode (Section 6.4).
+    pub fn price(&self, params: &CostParams, cluster: &ClusterSpec) -> Result<JobCost> {
+        let concurrency = self.map_concurrency.max(1);
+        let raw =
+            self.memory_per_slot.saturating_mul(u64::from(concurrency)) + self.memory_shared;
+        // Java-era in-memory expansion (see CostParams::memory_expansion).
+        let required = (raw as f64 * params.memory_expansion) as u64;
+        if required > cluster.node.memory_bytes {
+            return Err(ClydeError::OutOfMemory {
+                required,
+                available: cluster.node.memory_bytes,
+            });
+        }
+
+        let map_durations: Vec<(NodeId, f64)> = self
+            .map_tasks
+            .iter()
+            .map(|t| {
+                (
+                    NodeId(t.node.0 % cluster.num_workers()),
+                    params.map_task_duration(cluster, &t.cost, concurrency),
+                )
+            })
+            .collect();
+        let map_s = makespan(&map_durations, cluster.num_workers(), concurrency);
+
+        let reduce_durations: Vec<(NodeId, f64)> = self
+            .reduce_tasks
+            .iter()
+            .map(|t| {
+                (
+                    NodeId(t.node.0 % cluster.num_workers()),
+                    params.reduce_task_duration(cluster, &t.cost),
+                )
+            })
+            .collect();
+        let reduce_s = makespan(
+            &reduce_durations,
+            cluster.num_workers(),
+            cluster.reduce_slots,
+        );
+
+        let setup_s = self.client_build_rows as f64 / params.build_rows_per_s
+            + 2.0 * self.client_publish_bytes as f64 / cluster.network_bw;
+
+        Ok(JobCost {
+            setup_s,
+            map_s,
+            shuffle_s: shuffle_time(params, cluster, self.shuffle_bytes),
+            reduce_s,
+            overhead_s: params.job_overhead_s,
+        })
+    }
+
+    /// Rescale this profile to a different data scale and cluster: totals are
+    /// scaled (`fact_factor` for fact-proportional counters, `dim_factor` for
+    /// dimension-proportional ones), then redistributed over a task list
+    /// sized for the target.
+    pub fn extrapolate(&self, opts: &Extrapolation) -> JobProfile {
+        let total_map = self
+            .total_map_cost()
+            .scaled(opts.fact_factor, opts.dim_factor);
+        let n_map = match opts.map_tasks {
+            MapTaskScaling::OnePerNode => opts.cluster.num_workers() as u64,
+            MapTaskScaling::BySplitBytes { split_bytes } => {
+                let bytes = total_map.local_bytes + total_map.remote_bytes;
+                (bytes / split_bytes.max(1)).max(1)
+            }
+            MapTaskScaling::Fixed(n) => n.max(1),
+        };
+        let per_map = total_map.split(n_map);
+        let map_tasks = (0..n_map)
+            .map(|i| TaskProfile {
+                node: NodeId((i as usize) % opts.cluster.num_workers()),
+                cost: per_map,
+            })
+            .collect();
+
+        let total_reduce = self
+            .total_reduce_cost()
+            .scaled(opts.fact_factor, opts.dim_factor);
+        let n_reduce = if self.reduce_tasks.is_empty() {
+            0
+        } else {
+            (opts.cluster.total_reduce_slots() as u64).max(1)
+        };
+        let per_reduce = total_reduce.split(n_reduce.max(1));
+        let reduce_tasks = (0..n_reduce)
+            .map(|i| TaskProfile {
+                node: NodeId((i as usize) % opts.cluster.num_workers()),
+                cost: per_reduce,
+            })
+            .collect();
+
+        let sf = |v: u64, f: f64| ((v as f64) * f).round() as u64;
+        JobProfile {
+            name: self.name.clone(),
+            map_tasks,
+            reduce_tasks,
+            map_concurrency: opts.map_concurrency,
+            shuffle_bytes: sf(self.shuffle_bytes, opts.fact_factor),
+            client_build_rows: sf(self.client_build_rows, opts.dim_factor),
+            client_publish_bytes: sf(self.client_publish_bytes, opts.dim_factor),
+            memory_per_slot: sf(self.memory_per_slot, opts.dim_factor),
+            memory_shared: sf(self.memory_shared, opts.dim_factor),
+            failed_attempts: 0,
+        }
+    }
+}
+
+/// How many map tasks the extrapolated job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapTaskScaling {
+    /// Clydesdale: exactly one (multi-threaded) map task per worker node.
+    OnePerNode,
+    /// Hadoop default: one map task per `split_bytes` of input.
+    BySplitBytes { split_bytes: u64 },
+    /// Exactly `n` tasks.
+    Fixed(u64),
+}
+
+/// Parameters for [`JobProfile::extrapolate`].
+#[derive(Debug, Clone)]
+pub struct Extrapolation {
+    /// Ratio of fact-table cardinality (target SF / measured SF).
+    pub fact_factor: f64,
+    /// Ratio of (query-relevant) dimension cardinality.
+    pub dim_factor: f64,
+    pub cluster: ClusterSpec,
+    pub map_tasks: MapTaskScaling,
+    pub map_concurrency: u32,
+}
+
+/// The outcome of a real job execution.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Output rows, when the job's output spec was [`OutputSpec::Memory`].
+    pub rows: Vec<Row>,
+    /// Output files, when the output spec was [`OutputSpec::DfsDir`].
+    pub output_files: Vec<String>,
+    /// Hardware-independent execution profile.
+    pub profile: JobProfile,
+    /// The profile priced on the engine's own cluster spec.
+    pub cost: JobCost,
+    /// Fraction of scanned bytes read from local replicas.
+    pub locality: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(map: Vec<TaskCost>, concurrency: u32) -> JobProfile {
+        JobProfile {
+            name: "t".into(),
+            map_tasks: map
+                .into_iter()
+                .enumerate()
+                .map(|(i, cost)| TaskProfile {
+                    node: NodeId(i % 2),
+                    cost,
+                })
+                .collect(),
+            map_concurrency: concurrency,
+            ..JobProfile::default()
+        }
+    }
+
+    #[test]
+    fn pricing_detects_oom() {
+        let cluster = ClusterSpec::cluster_a(); // 16 GB nodes
+        let mut p = profile_with(vec![TaskCost::new()], 6);
+        // 3 GB × 6 slots = 18 GB: over cluster A's 16 GB, under cluster
+        // B's 32 GB — the paper's exact contrast.
+        p.memory_per_slot = 3 << 30;
+        let err = p.price(&CostParams::paper(), &cluster).unwrap_err();
+        assert!(err.is_oom());
+        // Cluster B (32 GB) fits — the paper's exact contrast.
+        assert!(p
+            .price(&CostParams::paper(), &ClusterSpec::cluster_b())
+            .is_ok());
+    }
+
+    #[test]
+    fn extrapolation_rebuilds_task_list() {
+        let mut cost = TaskCost::new();
+        cost.local_bytes = 1000;
+        cost.probe_rows = 500;
+        cost.build_rows = 100;
+        let p = profile_with(vec![cost; 4], 1);
+        let e = p.extrapolate(&Extrapolation {
+            fact_factor: 10.0,
+            dim_factor: 2.0,
+            cluster: ClusterSpec::cluster_a(),
+            map_tasks: MapTaskScaling::OnePerNode,
+            map_concurrency: 1,
+        });
+        assert_eq!(e.map_tasks.len(), 8);
+        let total = e.total_map_cost();
+        assert_eq!(total.local_bytes, 40_000);
+        assert_eq!(total.probe_rows, 20_000);
+        assert_eq!(total.build_rows, 800);
+    }
+
+    #[test]
+    fn extrapolation_by_split_bytes() {
+        let mut cost = TaskCost::new();
+        cost.local_bytes = 1 << 20;
+        let p = profile_with(vec![cost], 6);
+        let e = p.extrapolate(&Extrapolation {
+            fact_factor: 100.0,
+            dim_factor: 1.0,
+            cluster: ClusterSpec::cluster_a(),
+            map_tasks: MapTaskScaling::BySplitBytes {
+                split_bytes: 4 << 20,
+            },
+            map_concurrency: 6,
+        });
+        assert_eq!(e.map_tasks.len(), 25); // 100 MB / 4 MB
+    }
+
+    #[test]
+    fn more_nodes_price_faster() {
+        let mut cost = TaskCost::new();
+        cost.local_bytes = 10 << 30;
+        cost.threads = 6;
+        let p = profile_with(vec![cost; 8], 1);
+        let params = CostParams::paper();
+        let on_a = p.price(&params, &ClusterSpec::cluster_a()).unwrap();
+        let e = p.extrapolate(&Extrapolation {
+            fact_factor: 1.0,
+            dim_factor: 1.0,
+            cluster: ClusterSpec::cluster_b(),
+            map_tasks: MapTaskScaling::OnePerNode,
+            map_concurrency: 1,
+        });
+        let on_b = e.price(&params, &ClusterSpec::cluster_b()).unwrap();
+        assert!(on_b.total_s() < on_a.total_s());
+    }
+}

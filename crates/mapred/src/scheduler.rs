@@ -1,0 +1,160 @@
+//! Deterministic, locality-aware task scheduling.
+//!
+//! Reproduces the two scheduler behaviours the paper relies on:
+//!
+//! 1. **Locality-aware assignment** (Section 3): a split lists the nodes
+//!    holding its data; the scheduler places the task on the least-loaded of
+//!    them, falling back to the least-loaded node overall.
+//! 2. **Capacity scheduling by declared memory** (Section 5.2): a job can
+//!    mark its map tasks as requiring a large amount of memory; the number
+//!    of concurrently admitted tasks per node is then
+//!    `min(map_slots, floor(node_memory / task_memory))`, which Clydesdale
+//!    sets to exactly one task per node.
+//!
+//! Assignments are computed up front and deterministically, so simulated
+//! makespans are reproducible regardless of real thread interleaving.
+
+use crate::input::InputSplit;
+use clyde_dfs::{ClusterSpec, NodeId};
+
+/// How many tasks of this job a node may run at once.
+pub fn concurrency_per_node(cluster: &ClusterSpec, declared_task_memory: u64) -> u32 {
+    let slots = cluster.map_slots.max(1);
+    if declared_task_memory == 0 {
+        return slots;
+    }
+    let by_memory = cluster.node.memory_bytes / declared_task_memory.max(1);
+    (by_memory.min(u64::from(slots)) as u32).max(1)
+}
+
+/// Assign each split to a node. Returns `assignment[i] = node of splits[i]`.
+///
+/// Greedy in split order: prefer the listed host with the least pending
+/// bytes; if the split has no hosts (or only dead ones — callers filter),
+/// use the globally least-loaded node. Ties break toward the lowest node id,
+/// making the whole assignment a pure function of its inputs.
+pub fn assign_map_tasks(splits: &[InputSplit], cluster: &ClusterSpec) -> Vec<NodeId> {
+    let n = cluster.num_workers();
+    let mut pending = vec![0u64; n];
+    let mut out = Vec::with_capacity(splits.len());
+    for split in splits {
+        let candidates: Vec<NodeId> = if split.hosts.is_empty() {
+            (0..n).map(NodeId).collect()
+        } else {
+            split.hosts.iter().copied().filter(|h| h.0 < n).collect()
+        };
+        let candidates = if candidates.is_empty() {
+            (0..n).map(NodeId).collect()
+        } else {
+            candidates
+        };
+        let chosen = candidates
+            .iter()
+            .copied()
+            .min_by_key(|c| (pending[c.0], c.0))
+            .expect("candidates never empty");
+        pending[chosen.0] += split.bytes.max(1);
+        out.push(chosen);
+    }
+    out
+}
+
+/// Assign `num_tasks` reduce tasks round-robin over the workers.
+pub fn assign_reduce_tasks(num_tasks: usize, cluster: &ClusterSpec) -> Vec<NodeId> {
+    let n = cluster.num_workers().max(1);
+    (0..num_tasks).map(|i| NodeId(i % n)).collect()
+}
+
+/// Fraction of splits whose assigned node is one of their preferred hosts.
+pub fn locality_fraction(splits: &[InputSplit], assignment: &[NodeId]) -> f64 {
+    if splits.is_empty() {
+        return 1.0;
+    }
+    let local = splits
+        .iter()
+        .zip(assignment)
+        .filter(|(s, a)| s.hosts.is_empty() || s.hosts.contains(a))
+        .count();
+    local as f64 / splits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::SplitSpec;
+
+    fn split(index: usize, hosts: Vec<usize>, bytes: u64) -> InputSplit {
+        InputSplit {
+            index,
+            spec: SplitSpec::FileRange {
+                path: format!("/f{index}"),
+                offset: 0,
+                len: bytes,
+            },
+            hosts: hosts.into_iter().map(NodeId).collect(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn prefers_listed_hosts() {
+        let cluster = ClusterSpec::tiny(4);
+        let splits = vec![split(0, vec![2], 10), split(1, vec![2, 3], 10)];
+        let a = assign_map_tasks(&splits, &cluster);
+        assert_eq!(a[0], NodeId(2));
+        // Second split prefers node 3 because node 2 already has load.
+        assert_eq!(a[1], NodeId(3));
+        assert_eq!(locality_fraction(&splits, &a), 1.0);
+    }
+
+    #[test]
+    fn balances_load_without_hosts() {
+        let cluster = ClusterSpec::tiny(3);
+        let splits: Vec<InputSplit> = (0..9).map(|i| split(i, vec![], 100)).collect();
+        let a = assign_map_tasks(&splits, &cluster);
+        for node in 0..3 {
+            assert_eq!(a.iter().filter(|n| n.0 == node).count(), 3);
+        }
+    }
+
+    #[test]
+    fn out_of_range_hosts_are_ignored() {
+        let cluster = ClusterSpec::tiny(2);
+        let splits = vec![split(0, vec![7], 10)];
+        let a = assign_map_tasks(&splits, &cluster);
+        assert!(a[0].0 < 2);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let cluster = ClusterSpec::tiny(5);
+        let splits: Vec<InputSplit> =
+            (0..20).map(|i| split(i, vec![i % 5, (i + 1) % 5], 50 + i as u64)).collect();
+        assert_eq!(
+            assign_map_tasks(&splits, &cluster),
+            assign_map_tasks(&splits, &cluster)
+        );
+    }
+
+    #[test]
+    fn capacity_scheduling_limits_concurrency() {
+        let cluster = ClusterSpec::tiny(2); // 2 map slots, 4 GB nodes
+        assert_eq!(concurrency_per_node(&cluster, 0), 2);
+        // Declaring 3 GB per task admits only one task at a time.
+        assert_eq!(concurrency_per_node(&cluster, 3 << 30), 1);
+        // Declaring tiny memory is still capped by slots.
+        assert_eq!(concurrency_per_node(&cluster, 1), 2);
+        // Declaring more than node memory still admits one (Hadoop would
+        // reject; we degrade to serial execution).
+        assert_eq!(concurrency_per_node(&cluster, 1 << 40), 1);
+    }
+
+    #[test]
+    fn reduce_round_robin() {
+        let cluster = ClusterSpec::tiny(3);
+        assert_eq!(
+            assign_reduce_tasks(5, &cluster),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1)]
+        );
+    }
+}

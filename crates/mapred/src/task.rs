@@ -1,0 +1,345 @@
+//! Task-side context: I/O, per-node persistent state (JVM reuse), memory
+//! accounting, and the output collector.
+
+use crate::conf::JobConf;
+use crate::cost::TaskCost;
+use crate::distcache::DistCache;
+use crate::input::{InputFormat, InputSplit};
+use bytes::Bytes;
+use clyde_common::{keycodec, ClydeError, FxHashMap, Result, Row};
+use clyde_dfs::{Dfs, NodeId, NodeLocalStore, ScanStats};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Arc;
+
+/// DFS access bound to the task's node, crediting all reads to the task's
+/// [`ScanStats`] so the cost model can price the scan.
+#[derive(Clone)]
+pub struct TaskIo {
+    pub dfs: Arc<Dfs>,
+    /// The node performing the reads; `None` for job-client reads (Hive's
+    /// master building mapjoin hash tables), which are never local.
+    pub node: Option<NodeId>,
+    pub stats: Arc<ScanStats>,
+}
+
+impl TaskIo {
+    pub fn new(dfs: Arc<Dfs>, node: NodeId) -> TaskIo {
+        TaskIo {
+            dfs,
+            node: Some(node),
+            stats: Arc::new(ScanStats::new()),
+        }
+    }
+
+    /// I/O performed by the job client rather than a task.
+    pub fn client(dfs: Arc<Dfs>) -> TaskIo {
+        TaskIo {
+            dfs,
+            node: None,
+            stats: Arc::new(ScanStats::new()),
+        }
+    }
+
+    pub fn read_file(&self, path: &str) -> Result<Bytes> {
+        self.dfs
+            .read_file_tracked(path, self.node, Some(&self.stats))
+    }
+
+    pub fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.dfs
+            .read_range_tracked(path, offset, len, self.node, Some(&self.stats))
+    }
+}
+
+/// Per-node state that persists across consecutive tasks of the same job —
+/// the analog of static fields in a reused JVM (paper Sections 3 and 5.1).
+///
+/// Clydesdale stores its dimension hash tables here: the first map task on a
+/// node builds them, and every later task (and every thread) reuses the
+/// `Arc`. With JVM reuse disabled (the multithreading ablation), the engine
+/// hands each task a fresh `NodeState` and the build repeats.
+#[derive(Default)]
+pub struct NodeState {
+    entries: Mutex<FxHashMap<String, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl NodeState {
+    pub fn new() -> NodeState {
+        NodeState::default()
+    }
+
+    /// Fetch the value under `key`, building it with `init` on first access.
+    /// Returns the value and whether this call built it.
+    pub fn get_or_try_init<T, F>(&self, key: &str, init: F) -> Result<(Arc<T>, bool)>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> Result<T>,
+    {
+        let mut entries = self.entries.lock();
+        if let Some(existing) = entries.get(key) {
+            let typed = Arc::clone(existing)
+                .downcast::<T>()
+                .map_err(|_| ClydeError::MapReduce(format!("node state type mismatch for {key}")))?;
+            return Ok((typed, false));
+        }
+        // Build while holding the lock: tasks on one node run one at a time,
+        // and even under the multi-threaded runner only the runner's control
+        // thread builds (Section 4.2: the build phase is single-threaded).
+        let value = Arc::new(init()?);
+        entries.insert(key.to_string(), Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+        Ok((value, true))
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.lock().contains_key(key)
+    }
+
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// Per-node memory budget, shared by all tasks the engine runs on that node
+/// within one job.
+pub struct MemoryTracker {
+    capacity: u64,
+    used: Mutex<u64>,
+}
+
+impl MemoryTracker {
+    pub fn new(capacity: u64) -> MemoryTracker {
+        MemoryTracker {
+            capacity,
+            used: Mutex::new(0),
+        }
+    }
+
+    /// Charge `bytes`; errors with [`ClydeError::OutOfMemory`] if the node's
+    /// budget would be exceeded.
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        let mut used = self.used.lock();
+        if *used + bytes > self.capacity {
+            return Err(ClydeError::OutOfMemory {
+                required: *used + bytes,
+                available: self.capacity,
+            });
+        }
+        *used += bytes;
+        Ok(())
+    }
+
+    pub fn release(&self, bytes: u64) {
+        let mut used = self.used.lock();
+        *used = used.saturating_sub(bytes);
+    }
+
+    pub fn used(&self) -> u64 {
+        *self.used.lock()
+    }
+
+    pub fn reset(&self) {
+        *self.used.lock() = 0;
+    }
+}
+
+/// Records the peak memory shapes a job charged, for the cost model's OOM
+/// check at extrapolated scale: `per_slot` memory is duplicated by every
+/// concurrently running slot (Hive's per-task hash tables), `shared` memory
+/// has one copy per node (Clydesdale's shared tables).
+#[derive(Default)]
+pub struct MemoryLedger {
+    per_slot: Mutex<u64>,
+    shared: Mutex<u64>,
+}
+
+impl MemoryLedger {
+    pub fn new() -> MemoryLedger {
+        MemoryLedger::default()
+    }
+
+    pub fn note_per_slot(&self, bytes: u64) {
+        let mut v = self.per_slot.lock();
+        *v = (*v).max(bytes);
+    }
+
+    pub fn note_shared(&self, bytes: u64) {
+        let mut v = self.shared.lock();
+        *v = (*v).max(bytes);
+    }
+
+    pub fn per_slot(&self) -> u64 {
+        *self.per_slot.lock()
+    }
+
+    pub fn shared(&self) -> u64 {
+        *self.shared.lock()
+    }
+}
+
+/// Where map output goes. Thread-safe because the multi-threaded map runner
+/// shares one collector across its join threads (paper Figure 5).
+pub trait Collector: Send + Sync {
+    /// Emit a (key, value) pair. The key is encoded with the
+    /// order-preserving codec so the shuffle can sort bytes.
+    fn collect(&self, key: &Row, value: Row);
+}
+
+/// The engine's map-output buffer: encoded keys plus values, partition
+/// assignment deferred to the shuffle.
+#[derive(Default)]
+pub struct MapOutputBuffer {
+    records: Mutex<Vec<(Vec<u8>, Row)>>,
+}
+
+impl MapOutputBuffer {
+    pub fn new() -> MapOutputBuffer {
+        MapOutputBuffer::default()
+    }
+
+    pub fn into_records(self) -> Vec<(Vec<u8>, Row)> {
+        self.records.into_inner()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+impl Collector for MapOutputBuffer {
+    fn collect(&self, key: &Row, value: Row) {
+        let encoded = keycodec::encode_row(key);
+        self.records.lock().push((encoded, value));
+    }
+}
+
+/// Everything a map task (or its runner) can touch. Mirrors what a Hadoop
+/// task reaches through `JobConf`, the task attempt context, and statics.
+pub struct MapTaskContext<'a> {
+    pub conf: &'a JobConf,
+    pub split: &'a InputSplit,
+    pub input: &'a dyn InputFormat,
+    pub io: TaskIo,
+    pub node: NodeId,
+    /// Threads this task may use (1 for ordinary tasks; all the node's map
+    /// slots for Clydesdale's one-task-per-node jobs — Section 5.2's point 3).
+    pub threads: u32,
+    /// Concurrently scheduled tasks of this job on this node (slot pressure);
+    /// used to model per-slot memory duplication.
+    pub slot_concurrency: u32,
+    pub node_state: Arc<NodeState>,
+    pub memory: Arc<MemoryTracker>,
+    pub ledger: Arc<MemoryLedger>,
+    /// Effective bytes this task charged transiently (released at task end).
+    pub task_charges: Mutex<u64>,
+    pub local_store: Arc<NodeLocalStore>,
+    pub dist_cache: Arc<DistCache>,
+    pub out: Arc<MapOutputBuffer>,
+    pub cost: Arc<Mutex<TaskCost>>,
+}
+
+impl MapTaskContext<'_> {
+    /// Emit a map-output record, updating the task's counters.
+    pub fn emit(&self, key: &Row, value: Row) {
+        let bytes = (key.heap_size() + value.heap_size()) as u64;
+        {
+            let mut c = self.cost.lock();
+            c.emit_records += 1;
+            c.emit_bytes += bytes;
+        }
+        self.out.collect(key, value);
+    }
+
+    /// Charge memory that is shared by every task/thread on the node and
+    /// lives for the whole job (e.g. Clydesdale's single copy of the
+    /// dimension hash tables, kept alive by JVM reuse).
+    pub fn charge_memory_shared(&self, bytes: u64) -> Result<()> {
+        self.ledger.note_shared(bytes);
+        self.memory.charge(bytes)
+    }
+
+    /// Charge memory that every concurrently running slot would duplicate
+    /// and that dies with the task (e.g. Hive's per-task hash table copies —
+    /// the cause of the paper's cluster-A mapjoin OOM failures). The engine
+    /// releases these charges when the task finishes.
+    pub fn charge_memory_per_slot(&self, bytes: u64) -> Result<()> {
+        self.ledger.note_per_slot(bytes);
+        let effective = bytes.saturating_mul(u64::from(self.slot_concurrency));
+        self.memory.charge(effective)?;
+        *self.task_charges.lock() += effective;
+        Ok(())
+    }
+
+    /// Record cost-model counters under the task's lock.
+    pub fn add_cost(&self, f: impl FnOnce(&mut TaskCost)) {
+        f(&mut self.cost.lock());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clyde_common::row;
+
+    #[test]
+    fn node_state_builds_once() {
+        let st = NodeState::new();
+        let (v1, built1) = st
+            .get_or_try_init("k", || Ok::<_, ClydeError>(vec![1, 2, 3]))
+            .unwrap();
+        let (v2, built2) = st
+            .get_or_try_init("k", || -> Result<Vec<i32>> { panic!("must not rebuild") })
+            .unwrap();
+        assert!(built1);
+        assert!(!built2);
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert!(st.contains("k"));
+        st.clear();
+        assert!(!st.contains("k"));
+    }
+
+    #[test]
+    fn node_state_init_failure_is_not_cached() {
+        let st = NodeState::new();
+        let r = st.get_or_try_init::<u32, _>("k", || Err(ClydeError::Plan("boom".into())));
+        assert!(r.is_err());
+        let (_, built) = st.get_or_try_init("k", || Ok::<_, ClydeError>(9u32)).unwrap();
+        assert!(built);
+    }
+
+    #[test]
+    fn node_state_type_mismatch_is_an_error() {
+        let st = NodeState::new();
+        st.get_or_try_init("k", || Ok::<_, ClydeError>(1u32)).unwrap();
+        let r = st.get_or_try_init::<String, _>("k", || Ok("x".to_string()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn memory_tracker_enforces_capacity() {
+        let m = MemoryTracker::new(100);
+        m.charge(60).unwrap();
+        let err = m.charge(50).unwrap_err();
+        assert!(err.is_oom());
+        m.release(30);
+        m.charge(50).unwrap();
+        assert_eq!(m.used(), 80);
+        m.reset();
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn output_buffer_encodes_keys_sortably() {
+        let buf = MapOutputBuffer::new();
+        buf.collect(&row![2i64], row!["b"]);
+        buf.collect(&row![1i64], row!["a"]);
+        let mut records = buf.into_records();
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(records[0].1, row!["a"]);
+        assert_eq!(records[1].1, row!["b"]);
+    }
+}

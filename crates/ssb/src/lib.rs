@@ -1,0 +1,26 @@
+//! The Star Schema Benchmark (O'Neil et al.), the workload of the paper's
+//! entire evaluation (Section 6).
+//!
+//! * [`schema`] — the five tables of Figure 1 (lineorder fact + customer,
+//!   supplier, part, date dimensions) with SSB's column domains;
+//! * [`gen`] — a deterministic `dbgen`-equivalent: same cardinality scaling
+//!   rules, value domains, and foreign-key structure, parameterized by scale
+//!   factor and seed;
+//! * [`queries`] — the 13 queries (4 flights) as [`queries::StarQuery`]
+//!   descriptors consumed by both the Clydesdale engine and the Hive
+//!   baseline;
+//! * [`loader`] — bulk loaders into CIF (Clydesdale's format), RCFile
+//!   (Hive's format), text, and per-node dimension caches;
+//! * [`mod@reference`] — a trusted single-process executor used to validate
+//!   every engine's results.
+
+pub mod gen;
+pub mod loader;
+pub mod queries;
+pub mod reference;
+pub mod schema;
+
+pub use gen::{SsbData, SsbGen};
+pub use loader::SsbLayout;
+pub use queries::{all_queries, query_by_id, Aggregate, DimJoin, FactPred, StarQuery};
+pub use reference::reference_answer;

@@ -1,0 +1,80 @@
+//! Quickstart: load a small Star Schema Benchmark dataset onto the simulated
+//! cluster and run one star-join query through Clydesdale.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::loader::{self, SsbLayout};
+use clyde_ssb::query_by_id;
+use clydesdale::Clydesdale;
+
+fn main() {
+    // 1. A simulated 4-node cluster with a DFS using the co-locating block
+    //    placement policy (so CIF column files of a row group share nodes).
+    let dfs = Dfs::new(
+        ClusterSpec::tiny(4),
+        DfsOptions {
+            block_size: 4 << 20,
+            replication: 2,
+            policy: Box::new(ColocatingPlacement),
+        },
+    );
+
+    // 2. Generate and load SSB at scale factor 0.01 (60 K fact rows):
+    //    fact table in CIF, dimension masters in the DFS.
+    let layout = SsbLayout::default();
+    let gen = SsbGen::new(0.01, 46);
+    println!(
+        "loading SSB SF0.01: {} lineorder rows, {} customers, {} parts...",
+        gen.num_lineorders(),
+        gen.num_customers(),
+        gen.num_parts()
+    );
+    let opts = loader::LoadOpts {
+        rows_per_group: 5_000, // several row groups per node
+        ..Default::default()
+    };
+    loader::load(&dfs, gen, &layout, &opts).expect("load failed");
+
+    // 3. Stand up Clydesdale and cache dimension tables on every node's
+    //    local disk (the paper's Figure 2 deployment step).
+    let clyde = Clydesdale::new(dfs, layout);
+    clyde.warm_dimension_cache().expect("warm failed");
+
+    // 4. Run SSB query 2.1: revenue by year and brand for one part category
+    //    sold through American suppliers.
+    let query = query_by_id("Q2.1").expect("known query");
+    println!("\n{}", clyde.explain(&query).expect("explain"));
+    let result = clyde.query(&query).expect("query failed");
+
+    println!("\nQ2.1: revenue by (year, brand), category MFGR#12, suppliers in AMERICA\n");
+    println!("{:>6}  {:<10}  {:>14}", "year", "brand", "revenue");
+    for row in result.rows.iter().take(15) {
+        println!(
+            "{:>6}  {:<10}  {:>14}",
+            row.at(0),
+            row.at(1),
+            row.at(2)
+        );
+    }
+    if result.rows.len() > 15 {
+        println!("... and {} more groups", result.rows.len() - 15);
+    }
+
+    println!(
+        "\nexecution: {} map task(s), {:.0}% local scan, {} fact rows probed",
+        result.profile.map_tasks.len(),
+        result.locality * 100.0,
+        result.profile.total_map_cost().block_rows,
+    );
+    println!(
+        "simulated time on this 4-node cluster: {:.1}s (map {:.1}s, shuffle {:.2}s, reduce {:.2}s)",
+        result.total_s(),
+        result.cost.map_s,
+        result.cost.shuffle_s,
+        result.cost.reduce_s,
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Clydesdale reproduction workspace.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The library surface simply
+//! re-exports the member crates so examples can use a single import root.
+
+pub use clyde_columnar as columnar;
+pub use clyde_common as common;
+pub use clyde_dfs as dfs;
+pub use clyde_hive as hive;
+pub use clyde_mapred as mapred;
+pub use clyde_ssb as ssb;
+pub use clydesdale as core_engine;

@@ -2,13 +2,13 @@
 //! (real time of this implementation, not simulated cluster time):
 //! Clydesdale vs both Hive plans on representative SSB queries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
 use clyde_hive::{Hive, JoinStrategy};
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::loader::{self, SsbLayout};
 use clyde_ssb::query_by_id;
 use clydesdale::Clydesdale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 
 fn setup() -> (Arc<Dfs>, SsbLayout) {
@@ -30,6 +30,7 @@ fn setup() -> (Arc<Dfs>, SsbLayout) {
             cif: true,
             rcfile: true,
             text: false,
+            cluster_by_date: true,
         },
     )
     .expect("load");

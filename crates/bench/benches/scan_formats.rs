@@ -2,13 +2,13 @@
 //! own performance, complementing the simulated figures): CIF projected vs
 //! CIF all-columns vs RCFile vs text, over the same SSB fact data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use clyde_columnar::{CifReader, RcFileReader, TextInputFormat};
 use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
 use clyde_mapred::{InputFormat, JobConf, Reader, TaskIo};
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::loader::{self, SsbLayout};
 use clyde_ssb::schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 
 const ROWS: u64 = 120_000; // SF 0.02
@@ -32,6 +32,7 @@ fn setup() -> (Arc<Dfs>, SsbLayout) {
             cif: true,
             rcfile: true,
             text: true,
+            cluster_by_date: true,
         },
     )
     .expect("load");

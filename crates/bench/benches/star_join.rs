@@ -3,13 +3,15 @@
 //! (Section 5.3's block-iteration claim, measured on this implementation),
 //! and the early-out effect of probe ordering.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use clyde_common::{FxHashMap, Row, RowBlockBuilder, Schema};
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::queries::query_by_id;
 use clyde_ssb::schema;
-use clydesdale::probe::{probe_block, probe_row, ProbePlan, ProbeStats};
+use clydesdale::probe::{
+    probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
+};
 use clydesdale::{DimHashTable, DimTables};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const SF: f64 = 0.02; // 120 K fact rows
 
@@ -69,7 +71,11 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_build");
     group.throughput(Throughput::Elements(f.data.customer.len() as u64));
     group.bench_function("customer_region_filtered", |b| {
-        b.iter(|| DimHashTable::build(customer, &f.data.customer).unwrap().len());
+        b.iter(|| {
+            DimHashTable::build(customer, &f.data.customer)
+                .unwrap()
+                .len()
+        });
     });
     group.finish();
 }
@@ -89,42 +95,65 @@ fn bench_probe(c: &mut Criterion) {
         });
     });
 
-    group.bench_function(BenchmarkId::new("block_iteration", "off (row-at-a-time)"), |b| {
+    group.bench_function(BenchmarkId::new("kernel", "vectorized (default)"), |b| {
+        let layout = GroupLayout::new(&f.plan, &f.tables).unwrap();
         b.iter(|| {
-            let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
+            let mut acc = GroupAcc::new(&layout, &f.plan.aggregate);
+            let mut buf = SelBuf::default();
             let mut stats = ProbeStats::default();
-            for r in &f.rows {
-                probe_row(r, &f.plan, &f.tables, &mut acc, &mut stats).unwrap();
-            }
-            acc.len()
+            probe_block_vec(
+                &f.block, &f.plan, &f.tables, &layout, &mut acc, &mut buf, &mut stats,
+            )
+            .unwrap();
+            stats.survivors
         });
     });
 
+    group.bench_function(
+        BenchmarkId::new("block_iteration", "off (row-at-a-time)"),
+        |b| {
+            b.iter(|| {
+                let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
+                let mut stats = ProbeStats::default();
+                for r in &f.rows {
+                    probe_row(r, &f.plan, &f.tables, &mut acc, &mut stats).unwrap();
+                }
+                acc.len()
+            });
+        },
+    );
+
     // Early-out: probing the selective dimension (part, 1/25) first skips
     // most later probes.
-    group.bench_function(BenchmarkId::new("join_order", "date_first (sql order)"), |b| {
-        b.iter(|| {
-            let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
-            let mut stats = ProbeStats::default();
-            probe_block(&f.block, &f.plan, &f.tables, &mut acc, &mut stats).unwrap();
-            stats.probes
-        });
-    });
-    group.bench_function(BenchmarkId::new("join_order", "part_first (selective)"), |b| {
-        b.iter(|| {
-            let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
-            let mut stats = ProbeStats::default();
-            probe_block(
-                &f.block,
-                &f.plan_part_first,
-                &f.tables_part_first,
-                &mut acc,
-                &mut stats,
-            )
-            .unwrap();
-            stats.probes
-        });
-    });
+    group.bench_function(
+        BenchmarkId::new("join_order", "date_first (sql order)"),
+        |b| {
+            b.iter(|| {
+                let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
+                let mut stats = ProbeStats::default();
+                probe_block(&f.block, &f.plan, &f.tables, &mut acc, &mut stats).unwrap();
+                stats.probes
+            });
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("join_order", "part_first (selective)"),
+        |b| {
+            b.iter(|| {
+                let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
+                let mut stats = ProbeStats::default();
+                probe_block(
+                    &f.block,
+                    &f.plan_part_first,
+                    &f.tables_part_first,
+                    &mut acc,
+                    &mut stats,
+                )
+                .unwrap();
+                stats.probes
+            });
+        },
+    );
     group.finish();
     let _ = &f.scan_schema;
 }

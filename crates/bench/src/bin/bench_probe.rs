@@ -1,0 +1,131 @@
+//! Micro-benchmark of the probe kernels: Q2.1 rows/sec, scalar vs
+//! vectorized, over in-memory column blocks (no DFS, no MapReduce — just
+//! the inner loop the map task runs).
+//!
+//! Usage: `bench_probe [SF] [--json PATH]`. With `--json` the result is
+//! also written as a small JSON document (see `BENCH_probe.json` at the
+//! repo root for a committed run).
+
+use clyde_common::{FxHashMap, RowBlock, RowBlockBuilder};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::{query_by_id, schema};
+use clydesdale::hashtable::DimTables;
+use clydesdale::probe::{
+    probe_block, probe_block_vec, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
+};
+use std::time::Instant;
+
+const BLOCK_ROWS: usize = 4096;
+const WARMUP_ITERS: usize = 2;
+const TIMED_ITERS: usize = 5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf: f64 = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.01);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    eprintln!("generating SSB at SF {sf}...");
+    let data = SsbGen::new(sf, 46).gen_all();
+    let q = query_by_id("Q2.1").expect("known query");
+    let fact_schema = schema::lineorder_schema();
+    let cols: Vec<usize> = q
+        .fact_columns()
+        .iter()
+        .map(|c| fact_schema.index_of(c).unwrap())
+        .collect();
+    let scan_schema = fact_schema.project(&cols);
+    let plan = ProbePlan::compile(&q, &scan_schema).expect("plan compiles");
+    let tables = DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+        .expect("tables build");
+    let dtypes: Vec<_> = scan_schema.fields().iter().map(|f| f.dtype).collect();
+    let blocks: Vec<RowBlock> = data
+        .lineorder
+        .chunks(BLOCK_ROWS)
+        .map(|chunk| {
+            let mut b = RowBlockBuilder::new(&dtypes);
+            for r in chunk {
+                b.push_row(&r.project(&cols)).unwrap();
+            }
+            b.finish()
+        })
+        .collect();
+    let total_rows = data.lineorder.len() as u64;
+    eprintln!(
+        "probing {} rows in {} blocks of {} ({} timed iterations)...",
+        total_rows,
+        blocks.len(),
+        BLOCK_ROWS,
+        TIMED_ITERS
+    );
+
+    // Best-of-N wall time for one full pass over every block.
+    let scalar_pass = || {
+        let mut acc = FxHashMap::default();
+        let mut stats = ProbeStats::default();
+        for b in &blocks {
+            probe_block(b, &plan, &tables, &mut acc, &mut stats).unwrap();
+        }
+        (acc.len(), stats)
+    };
+    let layout = GroupLayout::new(&plan, &tables).expect("packed key fits");
+    let vec_pass = || {
+        let mut acc = GroupAcc::new(&layout, &plan.aggregate);
+        let mut buf = SelBuf::default();
+        let mut stats = ProbeStats::default();
+        for b in &blocks {
+            probe_block_vec(b, &plan, &tables, &layout, &mut acc, &mut buf, &mut stats).unwrap();
+        }
+        (acc.entries().len(), stats)
+    };
+    let time_best = |f: &dyn Fn() -> (usize, ProbeStats)| -> (f64, usize, ProbeStats) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let mut best = f64::INFINITY;
+        let mut out = (0, ProbeStats::default());
+        for _ in 0..TIMED_ITERS {
+            let t = Instant::now();
+            let r = std::hint::black_box(f());
+            best = best.min(t.elapsed().as_secs_f64());
+            out = r;
+        }
+        (best, out.0, out.1)
+    };
+
+    let (scalar_s, scalar_groups, scalar_stats) = time_best(&scalar_pass);
+    let (vec_s, vec_groups, vec_stats) = time_best(&vec_pass);
+    assert_eq!(
+        scalar_stats, vec_stats,
+        "kernels must count identically (rows/probes/survivors)"
+    );
+    // Packed keys can out-number final groups (ids are per dimension row);
+    // rematerialization folds them, so only >= holds here.
+    assert!(vec_groups >= scalar_groups);
+
+    let scalar_rps = total_rows as f64 / scalar_s;
+    let vec_rps = total_rows as f64 / vec_s;
+    let speedup = vec_rps / scalar_rps;
+    println!("Q2.1 probe kernel, SF {sf} ({total_rows} fact rows):");
+    println!("  scalar:     {scalar_rps:>12.0} rows/s  ({scalar_s:.4}s per pass)");
+    println!("  vectorized: {vec_rps:>12.0} rows/s  ({vec_s:.4}s per pass)");
+    println!("  speedup:    {speedup:.2}x");
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"query\": \"Q2.1\",\n  \"sf\": {sf},\n  \"fact_rows\": {total_rows},\n  \
+             \"block_rows\": {BLOCK_ROWS},\n  \"scalar_rows_per_s\": {scalar_rps:.0},\n  \
+             \"vectorized_rows_per_s\": {vec_rps:.0},\n  \"speedup\": {speedup:.2},\n  \
+             \"survivors\": {},\n  \"probes\": {}\n}}\n",
+            vec_stats.survivors, vec_stats.probes
+        );
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

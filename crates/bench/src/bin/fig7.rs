@@ -76,9 +76,7 @@ fn main() {
     let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
     let max = speedups.iter().copied().fold(0.0f64, f64::max);
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    println!(
-        "speedup over Hive: min {min:.1}x  max {max:.1}x  avg {avg:.1}x"
-    );
+    println!("speedup over Hive: min {min:.1}x  max {max:.1}x  avg {avg:.1}x");
     println!(
         "paper reports:     min {:.1}x  max {:.1}x  avg {:.1}x",
         paper::cluster_a::SPEEDUP_MIN,

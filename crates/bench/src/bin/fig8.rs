@@ -61,9 +61,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "\nFigure 8: SSB at SF1000 on cluster B (40 workers x 8 cores / 32 GB / 5 disks)\n"
-    );
+    println!("\nFigure 8: SSB at SF1000 on cluster B (40 workers x 8 cores / 32 GB / 5 disks)\n");
     println!(
         "{}",
         render_table(
@@ -88,7 +86,5 @@ fn main() {
         paper::cluster_b::SPEEDUP_MAX,
         paper::cluster_b::SPEEDUP_AVG
     );
-    println!(
-        "mapjoin OOM failures (paper: none on cluster B): {ooms:?}"
-    );
+    println!("mapjoin OOM failures (paper: none on cluster B): {ooms:?}");
 }

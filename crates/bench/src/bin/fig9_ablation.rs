@@ -8,9 +8,7 @@
 //! ≈ 3.4x average (flight 2 ≈ 3.8x, flight 4 ≈ 2.0x); multithreading off
 //! ≈ 2.4x average (flight 1 ≈ 1.2x, flight 4 ≈ 4.5x).
 
-use clyde_bench::harness::{
-    measure, Ablation, Extrapolator, MeasureWhat, MeasurementConfig,
-};
+use clyde_bench::harness::{measure, Ablation, Extrapolator, MeasureWhat, MeasurementConfig};
 use clyde_bench::paper;
 use clyde_bench::report::{render_table, speedup};
 use clyde_dfs::ClusterSpec;
@@ -25,7 +23,7 @@ fn main() {
         ..MeasurementConfig::default()
     };
     eprintln!(
-        "measuring all 13 SSB queries at SF {sf} under 4 feature configurations, validating results..."
+        "measuring all 13 SSB queries at SF {sf} under 6 feature configurations, validating results..."
     );
     let m = measure(
         &config,
@@ -41,11 +39,14 @@ fn main() {
         Ablation::NoBlockIteration,
         Ablation::NoColumnar,
         Ablation::NoMultithreading,
+        Ablation::NoVectorized,
+        Ablation::NoZoneSkipping,
     ];
     let mut rows = Vec::new();
     // slowdown sums per (ablation, flight)
-    let mut flight_sum = [[0.0f64; 5]; 3];
-    let mut flight_n = [[0usize; 5]; 3];
+    let mut flight_sum = [[0.0f64; 5]; 5];
+    let mut flight_n = [[0usize; 5]; 5];
+    let mut zone_rows = Vec::new();
     for qm in &m.queries {
         let base = ex.clyde_time(qm).expect("baseline never OOMs");
         let mut cells = vec![qm.query.id.clone(), clyde_bench::report::secs(base)];
@@ -58,6 +59,22 @@ fn main() {
             flight_n[ai][flight] += 1;
         }
         rows.push(cells);
+
+        // Zone-map pruning observed at measurement scale (the counters ride
+        // the cost profile but are never priced — pruning shows up as fewer
+        // scanned bytes in the baseline column instead).
+        let c = qm.clyde.total_map_cost();
+        if c.zone_checked > 0 {
+            zone_rows.push(vec![
+                qm.query.id.clone(),
+                c.zone_checked.to_string(),
+                c.zone_skipped.to_string(),
+                format!(
+                    "{:.0}%",
+                    100.0 * c.zone_skipped as f64 / c.zone_checked as f64
+                ),
+            ]);
+        }
     }
 
     println!("\nFigure 9: feature ablation, cluster A, SF1000 (slowdown vs all features on)\n");
@@ -70,13 +87,32 @@ fn main() {
                 "block-iter off",
                 "columnar off",
                 "multithreading off",
+                "vectorized off",
+                "zone skip off",
             ],
             &rows,
         )
     );
 
+    if !zone_rows.is_empty() {
+        println!("zone-map pruning in the baseline (measurement scale):\n");
+        println!(
+            "{}",
+            render_table(
+                &["query", "groups checked", "skipped", "pruned"],
+                &zone_rows
+            )
+        );
+    }
+
     println!("per-flight average slowdowns:");
-    let labels = ["block iteration off", "columnar off", "multithreading off"];
+    let labels = [
+        "block iteration off",
+        "columnar off",
+        "multithreading off",
+        "vectorized probe off",
+        "zone skipping off",
+    ];
     for (ai, label) in labels.iter().enumerate() {
         let mut parts = Vec::new();
         let mut total = 0.0;
@@ -89,9 +125,16 @@ fn main() {
                 n += flight_n[ai][f];
             }
         }
-        println!("  {label:<22} {}  overall {:.1}x", parts.join("  "), total / n as f64);
+        println!(
+            "  {label:<22} {}  overall {:.1}x",
+            parts.join("  "),
+            total / n as f64
+        );
     }
-    println!("\npaper reports: block iteration off ≈ {:.1}x;", paper::ablation::BLOCK_ITERATION_AVG);
+    println!(
+        "\npaper reports: block iteration off ≈ {:.1}x;",
+        paper::ablation::BLOCK_ITERATION_AVG
+    );
     println!(
         "               columnar off ≈ {:.1}x avg (flight2 {:.1}x, flight4 {:.1}x);",
         paper::ablation::COLUMNAR_AVG,

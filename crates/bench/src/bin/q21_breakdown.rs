@@ -47,7 +47,9 @@ fn main() {
     let scan_gb = (task.local_bytes + task.remote_bytes) as f64 / (1u64 << 30) as f64;
     let bw = params.hdfs.effective_read_bw(&cluster.node);
     let scan_s = (task.local_bytes + task.remote_bytes) as f64 / bw;
-    let cost = e.price(params, &cluster).expect("clydesdale fits in memory");
+    let cost = e
+        .price(params, &cluster)
+        .expect("clydesdale fits in memory");
     let total = ex.clyde_time(qm).unwrap();
 
     println!("\n=== Q2.1 on cluster A, SF1000 ===\n");
@@ -82,6 +84,12 @@ fn main() {
         )
     );
     let _ = cost;
+    let measured = qm.clyde.total_map_cost();
+    println!(
+        "zone maps: {} row groups checked, {} skipped (Q2.1 carries no fact or date range \
+         predicate, so every group must be scanned; compare flight 1 in fig9_ablation)",
+        measured.zone_checked, measured.zone_skipped
+    );
 
     // ---- Hive mapjoin stages. ----
     println!("Hive mapjoin plan (five stages):");
@@ -110,10 +118,7 @@ fn main() {
         secs(our_total),
         secs(q21::HIVE_MAPJOIN_TOTAL_S),
     ]);
-    println!(
-        "{}",
-        render_table(&["stage", "this repro", "paper"], &rows)
-    );
+    println!("{}", render_table(&["stage", "this repro", "paper"], &rows));
 
     // ---- Hive repartition. ----
     let rp = ex.hive_time(&m, qm, JoinStrategy::Repartition).unwrap();

@@ -49,9 +49,7 @@ fn main() {
             &rows,
         )
     );
-    println!(
-        "paper (Section 6.6): raw ~70 MB/s per disk (560 MB/s per node on A, 280 MB/s on B);"
-    );
+    println!("paper (Section 6.6): raw ~70 MB/s per disk (560 MB/s per node on A, 280 MB/s on B);");
     println!(
         "HDFS delivered only a fraction of that — Clydesdale's scans observed ~67 MB/s per node."
     );

@@ -69,6 +69,8 @@ pub struct AblationProfiles {
     pub no_columnar: JobProfile,
     pub no_block_iteration: JobProfile,
     pub no_multithreading: JobProfile,
+    pub no_vectorized: JobProfile,
+    pub no_zone_skipping: JobProfile,
 }
 
 /// Everything measured for one query.
@@ -125,6 +127,7 @@ pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurem
             cif: true,
             rcfile: what.hive,
             text: false,
+            cluster_by_date: true,
         },
     )?;
     let reference_data = if config.validate {
@@ -140,6 +143,8 @@ pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurem
             Features::without_columnar(),
             Features::without_block_iteration(),
             Features::without_multithreading(),
+            Features::without_vectorized(),
+            Features::without_zone_skipping(),
         ]
         .into_iter()
         .map(|f| {
@@ -162,7 +167,7 @@ pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurem
         }
 
         let ablations = if what.ablations {
-            let mut profs = Vec::with_capacity(3);
+            let mut profs = Vec::with_capacity(5);
             for (f, engine) in &ablated {
                 let r = engine.query(&query)?;
                 if let Some(data) = &reference_data {
@@ -173,9 +178,11 @@ pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurem
             }
             let mut it = profs.into_iter();
             Some(AblationProfiles {
-                no_columnar: it.next().expect("three ablations"),
-                no_block_iteration: it.next().expect("three ablations"),
-                no_multithreading: it.next().expect("three ablations"),
+                no_columnar: it.next().expect("five ablations"),
+                no_block_iteration: it.next().expect("five ablations"),
+                no_multithreading: it.next().expect("five ablations"),
+                no_vectorized: it.next().expect("five ablations"),
+                no_zone_skipping: it.next().expect("five ablations"),
             })
         } else {
             None
@@ -307,8 +314,7 @@ impl Extrapolator {
         });
         // Shared memory is one copy per node; it grows with dimension
         // cardinality only, not with node count.
-        e.memory_shared =
-            (profile.memory_shared as f64 * self.dims_factor(query)).round() as u64;
+        e.memory_shared = (profile.memory_shared as f64 * self.dims_factor(query)).round() as u64;
         e
     }
 
@@ -319,10 +325,14 @@ impl Extrapolator {
             .as_ref()
             .expect("measurement did not include ablations");
         let e = match which {
-            // Both keep the one-task-per-node shape (per-node builds).
+            // These keep the one-task-per-node shape (per-node builds).
             Ablation::NoColumnar => self.extrapolate_one_per_node(&qm.query, &ab.no_columnar),
             Ablation::NoBlockIteration => {
                 self.extrapolate_one_per_node(&qm.query, &ab.no_block_iteration)
+            }
+            Ablation::NoVectorized => self.extrapolate_one_per_node(&qm.query, &ab.no_vectorized),
+            Ablation::NoZoneSkipping => {
+                self.extrapolate_one_per_node(&qm.query, &ab.no_zone_skipping)
             }
             // MT off: normal split-granularity single-threaded tasks, every
             // task rebuilding its own tables, so total build work = (target
@@ -354,8 +364,7 @@ impl Extrapolator {
                 // count (the build dim-factor above intentionally includes
                 // the task count, so memory must be reset here).
                 e.memory_per_slot =
-                    (profile.memory_per_slot as f64 * self.dims_factor(&qm.query)).round()
-                        as u64;
+                    (profile.memory_per_slot as f64 * self.dims_factor(&qm.query)).round() as u64;
                 e
             }
         };
@@ -474,6 +483,8 @@ pub enum Ablation {
     NoColumnar,
     NoBlockIteration,
     NoMultithreading,
+    NoVectorized,
+    NoZoneSkipping,
 }
 
 impl Ablation {
@@ -482,6 +493,8 @@ impl Ablation {
             Ablation::NoColumnar => "columnar off",
             Ablation::NoBlockIteration => "block iteration off",
             Ablation::NoMultithreading => "multithreading off",
+            Ablation::NoVectorized => "vectorized probe off",
+            Ablation::NoZoneSkipping => "zone skipping off",
         }
     }
 }

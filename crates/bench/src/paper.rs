@@ -84,8 +84,8 @@ pub mod storage {
 
 /// The 13 query ids in figure order.
 pub const QUERY_IDS: [&str; 13] = [
-    "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4", "Q4.1",
-    "Q4.2", "Q4.3",
+    "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4", "Q4.1", "Q4.2",
+    "Q4.3",
 ];
 
 /// Flight of a query id (1-based).

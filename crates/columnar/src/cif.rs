@@ -12,10 +12,8 @@
 //! Section 6.5).
 
 use crate::encoding::{choose_encoding, decode_column, encode_column};
-use clyde_common::{
-    varint, ClydeError, Result, Row, RowBlock, RowBlockBuilder, Schema,
-};
 use clyde_common::{rowcodec, Field};
+use clyde_common::{varint, ClydeError, Result, Row, RowBlock, RowBlockBuilder, Schema};
 use clyde_dfs::{Dfs, NodeId};
 use clyde_mapred::TaskIo;
 use std::sync::Arc;
@@ -106,7 +104,9 @@ impl CifTableMeta {
         let types = rowcodec::read_types(data, &mut pos)?;
         let n = varint::read_u64(data, &mut pos)? as usize;
         if n != types.len() {
-            return Err(ClydeError::Format("CIF meta name/type count mismatch".into()));
+            return Err(ClydeError::Format(
+                "CIF meta name/type count mismatch".into(),
+            ));
         }
         let mut fields = Vec::with_capacity(n);
         for t in types {
@@ -236,15 +236,12 @@ impl CifReader {
 
     /// Read the selected columns of one row group. Only the named columns'
     /// files are touched — the heart of CIF's I/O saving.
-    pub fn read_group(
-        &self,
-        io: &TaskIo,
-        group: usize,
-        col_indices: &[usize],
-    ) -> Result<RowBlock> {
-        let expected = *self.meta.group_rows.get(group).ok_or_else(|| {
-            ClydeError::Format(format!("row group {group} out of range"))
-        })?;
+    pub fn read_group(&self, io: &TaskIo, group: usize, col_indices: &[usize]) -> Result<RowBlock> {
+        let expected = *self
+            .meta
+            .group_rows
+            .get(group)
+            .ok_or_else(|| ClydeError::Format(format!("row group {group} out of range")))?;
         let mut columns = Vec::with_capacity(col_indices.len());
         for &ci in col_indices {
             let name = &self.meta.schema.field(ci).name;
@@ -339,8 +336,7 @@ mod tests {
         let mut w = CifWriter::new(Arc::clone(dfs), base, schema(), rpg).unwrap();
         for i in 0..n {
             let region = if i % 2 == 0 { "ASIA" } else { "EUROPE" };
-            w.append(&row![i as i32, region, (i as i64) * 10])
-                .unwrap();
+            w.append(&row![i as i32, region, (i as i64) * 10]).unwrap();
         }
         w.close().unwrap()
     }
@@ -417,7 +413,11 @@ mod tests {
         let mut w = CifWriter::new(Arc::clone(&dfs), "/t/x", schema(), 4).unwrap();
         assert!(w.append(&row![1i32]).is_err()); // wrong arity
         assert!(w
-            .append(&Row::new(vec![Datum::str("no"), Datum::str("a"), Datum::I64(1)]))
+            .append(&Row::new(vec![
+                Datum::str("no"),
+                Datum::str("a"),
+                Datum::I64(1)
+            ]))
             .is_err()); // wrong type
     }
 

@@ -16,12 +16,12 @@
 //!   is the row-at-a-time path used by the block-iteration ablation.
 
 use crate::cif::CifReader;
+use crate::encoding::{peek_zone_map, ZONE_HEADER_MAX};
 use clyde_common::{ClydeError, Result, RowBlock};
 use clyde_dfs::{Dfs, NodeId};
 use clyde_mapred::conf::keys;
 use clyde_mapred::{
-    input::RowsFromBlocks, BlockReader, InputFormat, InputSplit, JobConf, Reader, SplitSpec,
-    TaskIo,
+    input::RowsFromBlocks, BlockReader, InputFormat, InputSplit, JobConf, Reader, SplitSpec, TaskIo,
 };
 
 /// How rows come out of the reader.
@@ -53,6 +53,27 @@ pub enum MultiSplit {
     OnePerNode,
 }
 
+/// A conjunct usable for zone-map pruning: a qualifying row must have
+/// `column` in the inclusive range `[lo, hi]`. A row group whose zone map
+/// for `column` is disjoint from the range cannot contribute a single row,
+/// so the scan skips it without fetching or decoding any column chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZonePred {
+    pub column: String,
+    pub lo: i32,
+    pub hi: i32,
+}
+
+impl ZonePred {
+    pub fn new(column: impl Into<String>, lo: i32, hi: i32) -> ZonePred {
+        ZonePred {
+            column: column.into(),
+            lo,
+            hi,
+        }
+    }
+}
+
 /// The CIF input format.
 pub struct CifInputFormat {
     pub base: String,
@@ -61,6 +82,10 @@ pub struct CifInputFormat {
     pub columns: Option<Vec<String>>,
     pub mode: ScanMode,
     pub multi: MultiSplit,
+    /// Conjunctive range predicates for zone-map block skipping. Pruning
+    /// never changes results — it only elides groups no row of which can
+    /// pass the predicates.
+    pub zone_preds: Vec<ZonePred>,
 }
 
 impl CifInputFormat {
@@ -70,6 +95,7 @@ impl CifInputFormat {
             columns: None,
             mode: ScanMode::default(),
             multi: MultiSplit::Single,
+            zone_preds: Vec::new(),
         }
     }
 
@@ -86,6 +112,35 @@ impl CifInputFormat {
     pub fn with_multi(mut self, multi: MultiSplit) -> CifInputFormat {
         self.multi = multi;
         self
+    }
+
+    pub fn with_zone_preds(mut self, preds: Vec<ZonePred>) -> CifInputFormat {
+        self.zone_preds = preds;
+        self
+    }
+
+    /// Zone-map check for one row group: `Ok(true)` means some predicate's
+    /// range is provably disjoint from the group's value range and the
+    /// group can be skipped. Costs one header-sized read (≤
+    /// [`ZONE_HEADER_MAX`] bytes) per checked column.
+    fn zone_prunes(&self, reader: &CifReader, group: usize, io: &TaskIo) -> Result<bool> {
+        for zp in &self.zone_preds {
+            // Unknown columns can't prune (planner bug-proofing, not an error).
+            if reader.column_index(&zp.column).is_err() {
+                continue;
+            }
+            let path = reader.meta().column_path(group, &zp.column);
+            let len = io.dfs.file_len(&path)?;
+            let prefix = io.read_range(&path, 0, len.min(ZONE_HEADER_MAX as u64))?;
+            io.stats.add_zone_checked(1);
+            if let Some((min, max)) = peek_zone_map(&prefix)? {
+                if max < zp.lo || min > zp.hi {
+                    io.stats.add_zone_skipped(1);
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
     }
 
     fn column_indices(&self, reader: &CifReader, conf: &JobConf) -> Result<Vec<usize>> {
@@ -201,6 +256,19 @@ impl InputFormat for CifInputFormat {
                 .collect::<Result<_>>()?,
             None => (0..reader.schema().len()).collect(),
         };
+        // Zone-map pruning: decide from column-chunk headers alone whether
+        // this group can contain qualifying rows; if not, hand back an
+        // empty reader of the requested shape.
+        if !self.zone_preds.is_empty() && self.zone_prunes(&reader, group, io)? {
+            return Ok(match self.mode {
+                ScanMode::Blocks { .. } => {
+                    Reader::Blocks(Box::new(SlicedBlockReader::new(RowBlock::default(), 1)))
+                }
+                ScanMode::Rows => Reader::Rows(Box::new(RowsFromBlocks::new(Box::new(
+                    SlicedBlockReader::new(RowBlock::default(), 1),
+                )))),
+            });
+        }
         let block = reader.read_group(io, group, &cols)?;
         match self.mode {
             ScanMode::Blocks { rows_per_block } => Ok(Reader::Blocks(Box::new(
@@ -247,9 +315,7 @@ impl BlockReader for SlicedBlockReader {
     }
 }
 
-fn intersect_hosts<'a>(
-    mut sets: impl Iterator<Item = &'a Vec<NodeId>>,
-) -> Option<Vec<NodeId>> {
+fn intersect_hosts<'a>(mut sets: impl Iterator<Item = &'a Vec<NodeId>>) -> Option<Vec<NodeId>> {
     let first = sets.next()?.clone();
     let mut acc = first;
     for s in sets {
@@ -273,8 +339,12 @@ mod tests {
         let schema = Schema::new(vec![Field::i32("a"), Field::i64("b"), Field::str("c")]);
         let mut w = CifWriter::new(Arc::clone(dfs), base, schema, rpg).unwrap();
         for i in 0..rows {
-            w.append(&row![i as i32, (i * 2) as i64, if i % 3 == 0 { "x" } else { "y" }])
-                .unwrap();
+            w.append(&row![
+                i as i32,
+                (i * 2) as i64,
+                if i % 3 == 0 { "x" } else { "y" }
+            ])
+            .unwrap();
         }
         w.close().unwrap();
     }
@@ -362,7 +432,9 @@ mod tests {
         let fmt2 = CifInputFormat::new("/t");
         let splits = fmt2.splits(&dfs, &conf).unwrap();
         // Split byte estimate covers only the projected columns.
-        let full = CifInputFormat::new("/t").splits(&dfs, &JobConf::new()).unwrap();
+        let full = CifInputFormat::new("/t")
+            .splits(&dfs, &JobConf::new())
+            .unwrap();
         assert!(splits[0].bytes < full[0].bytes);
     }
 
@@ -388,6 +460,59 @@ mod tests {
             sizes.push(b.len());
         }
         assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn zone_preds_skip_disjoint_groups() {
+        let dfs = Dfs::for_tests(2);
+        // 20 rows in 4 groups of 5: column "a" is 0..4, 5..9, 10..14, 15..19.
+        make_table(&dfs, "/t", 20, 5);
+        let io = TaskIo::client(Arc::clone(&dfs));
+        let fmt = CifInputFormat::new("/t").with_zone_preds(vec![ZonePred::new("a", 7, 12)]);
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        let mut rows = Vec::new();
+        for s in &splits {
+            for part in 0..s.spec.num_parts() {
+                let mut b = fmt.open(s, part, &io).unwrap().into_blocks().unwrap();
+                while let Some(blk) = b.next_block().unwrap() {
+                    for i in 0..blk.len() {
+                        rows.push(blk.row(i));
+                    }
+                }
+            }
+        }
+        // Groups 0 and 3 are disjoint from [7,12] and were skipped; groups
+        // 1 and 2 survive whole (pruning is group-granular, not row-level).
+        assert_eq!(rows.len(), 10);
+        assert_eq!(io.stats.zone_skipped(), 2);
+        assert_eq!(io.stats.zone_checked(), 4);
+        // A non-i32 or unknown column never prunes.
+        let fmt2 = CifInputFormat::new("/t")
+            .with_zone_preds(vec![ZonePred::new("c", 0, 0), ZonePred::new("nope", 0, 0)]);
+        let rows2 = drain_rows(&fmt2, &dfs);
+        assert_eq!(rows2.len(), 20);
+    }
+
+    #[test]
+    fn zone_skip_in_rows_mode_yields_empty_reader() {
+        let dfs = Dfs::for_tests(2);
+        make_table(&dfs, "/t", 10, 5);
+        let io = TaskIo::client(Arc::clone(&dfs));
+        let fmt = CifInputFormat::new("/t")
+            .with_mode(ScanMode::Rows)
+            .with_zone_preds(vec![ZonePred::new("a", 100, 200)]);
+        let splits = fmt.splits(&dfs, &JobConf::new()).unwrap();
+        let mut n = 0;
+        for s in &splits {
+            for part in 0..s.spec.num_parts() {
+                let mut r = fmt.open(s, part, &io).unwrap().into_rows().unwrap();
+                while r.next().unwrap().is_some() {
+                    n += 1;
+                }
+            }
+        }
+        assert_eq!(n, 0);
+        assert_eq!(io.stats.zone_skipped(), 2);
     }
 
     #[test]

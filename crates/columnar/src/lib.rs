@@ -27,8 +27,8 @@ pub mod rcfile;
 pub mod text;
 
 pub use cif::{CifReader, CifTableMeta, CifWriter};
+pub use encoding::{peek_zone_map, Encoding, ZONE_HEADER_MAX};
+pub use input::{CifInputFormat, MultiSplit, ScanMode, ZonePred};
 pub use maintain::{roll_out, CifAppender};
-pub use encoding::Encoding;
-pub use input::{CifInputFormat, MultiSplit, ScanMode};
 pub use rcfile::{RcFileInputFormat, RcFileReader, RcFileWriter};
 pub use text::{TextInputFormat, TextWriter};

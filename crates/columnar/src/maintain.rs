@@ -69,9 +69,11 @@ impl CifAppender {
         for (i, col) in block.columns().iter().enumerate() {
             let name = &self.meta.schema.field(i).name;
             let encoded = encode_column(col, choose_encoding(col))?;
-            let mut w = self
-                .dfs
-                .create(self.meta.column_path(group, name), Some(placement.clone()), None)?;
+            let mut w = self.dfs.create(
+                self.meta.column_path(group, name),
+                Some(placement.clone()),
+                None,
+            )?;
             w.write_all(&encoded);
             w.close()?;
         }

@@ -323,9 +323,9 @@ impl InputFormat for RcFileInputFormat {
         let SplitSpec::Groups { base, groups } = &split.spec else {
             return Err(ClydeError::MapReduce("RCFile expects group splits".into()));
         };
-        let &group = groups.get(part).ok_or_else(|| {
-            ClydeError::MapReduce(format!("part {part} out of range"))
-        })?;
+        let &group = groups
+            .get(part)
+            .ok_or_else(|| ClydeError::MapReduce(format!("part {part} out of range")))?;
         let reader = RcFileReader::open(&io.dfs, base)?;
         let cols = self.resolve_cols(reader.schema())?;
         let block = reader.read_group(io, group, &cols)?;
@@ -334,7 +334,9 @@ impl InputFormat for RcFileInputFormat {
                 SlicedBlockReader::new(block, 4096),
             )))))
         } else {
-            Ok(Reader::Blocks(Box::new(SlicedBlockReader::new(block, 4096))))
+            Ok(Reader::Blocks(Box::new(SlicedBlockReader::new(
+                block, 4096,
+            ))))
         }
     }
 }
@@ -351,8 +353,12 @@ mod tests {
     fn make(dfs: &Arc<Dfs>, base: &str, n: usize, rpg: u64) -> RcFileMeta {
         let mut w = RcFileWriter::new(Arc::clone(dfs), base, schema(), rpg).unwrap();
         for i in 0..n {
-            w.append(&row![i as i32, if i % 4 == 0 { "A" } else { "B" }, i as i64])
-                .unwrap();
+            w.append(&row![
+                i as i32,
+                if i % 4 == 0 { "A" } else { "B" },
+                i as i64
+            ])
+            .unwrap();
         }
         w.close().unwrap()
     }

@@ -6,8 +6,8 @@
 //! TextInputFormat fallback experiments (Section 6.3 mentions re-running
 //! with `TextInputFormat`) are reproducible.
 
-use clyde_common::{ClydeError, DatumType, Result, Row, Schema};
 use clyde_common::Datum;
+use clyde_common::{ClydeError, DatumType, Result, Row, Schema};
 use clyde_dfs::Dfs;
 use clyde_mapred::{InputFormat, InputSplit, JobConf, Reader, RecordReader, SplitSpec, TaskIo};
 use std::sync::Arc;
@@ -59,9 +59,9 @@ pub fn parse_line(line: &str, schema: &Schema) -> Result<Row> {
     let mut row = Row::with_capacity(schema.len());
     let mut parts = line.split(DELIM);
     for field in schema.fields() {
-        let part = parts.next().ok_or_else(|| {
-            ClydeError::Format(format!("line has too few fields: {line:?}"))
-        })?;
+        let part = parts
+            .next()
+            .ok_or_else(|| ClydeError::Format(format!("line has too few fields: {line:?}")))?;
         let datum = match field.dtype {
             DatumType::I32 => Datum::I32(part.parse().map_err(|_| {
                 ClydeError::Format(format!("bad i32 {part:?} in column {}", field.name))
@@ -147,7 +147,9 @@ impl InputFormat for TextInputFormat {
             return Err(ClydeError::MapReduce("text splits have one part".into()));
         }
         let SplitSpec::FileRange { path, offset, len } = &split.spec else {
-            return Err(ClydeError::MapReduce("text expects file-range splits".into()));
+            return Err(ClydeError::MapReduce(
+                "text expects file-range splits".into(),
+            ));
         };
         let file_len = io.dfs.file_len(path)?;
         // Hadoop convention: a split owns the records that *start* within it.
@@ -210,7 +212,6 @@ impl RecordReader for TextRows {
 mod tests {
     use super::*;
     use clyde_common::{row, Field};
-
 
     fn schema() -> Schema {
         Schema::new(vec![Field::i32("id"), Field::str("name"), Field::i64("v")])
@@ -284,7 +285,10 @@ mod tests {
     #[test]
     fn empty_file_yields_no_rows() {
         let dfs = Dfs::for_tests(2);
-        TextWriter::create(&dfs, "/text/empty").unwrap().close().unwrap();
+        TextWriter::create(&dfs, "/text/empty")
+            .unwrap()
+            .close()
+            .unwrap();
         let fmt = TextInputFormat::new("/text/empty", schema());
         assert!(read_all(&fmt, &dfs).is_empty());
     }

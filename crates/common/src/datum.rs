@@ -268,7 +268,12 @@ mod tests {
 
     #[test]
     fn type_tags_roundtrip() {
-        for t in [DatumType::I32, DatumType::I64, DatumType::F64, DatumType::Str] {
+        for t in [
+            DatumType::I32,
+            DatumType::I64,
+            DatumType::F64,
+            DatumType::Str,
+        ] {
             assert_eq!(DatumType::from_tag(t.tag()), Some(t));
         }
         assert_eq!(DatumType::from_tag(200), None);

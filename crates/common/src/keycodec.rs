@@ -114,11 +114,7 @@ pub fn decode_datum(buf: &[u8], pos: &mut usize) -> Result<Datum> {
                 match next {
                     0x00 => break,
                     0xFF => bytes.push(0x00),
-                    _ => {
-                        return Err(ClydeError::Format(
-                            "keycodec: invalid string escape".into(),
-                        ))
-                    }
+                    _ => return Err(ClydeError::Format("keycodec: invalid string escape".into())),
                 }
             }
             let s = String::from_utf8(bytes)
@@ -254,7 +250,7 @@ mod tests {
             Just(Datum::Null),
             any::<i64>().prop_map(Datum::I64),
             any::<f64>().prop_map(Datum::F64),
-            "[a-zA-Z0-9#\\x00 ]{0,12}".prop_map(|s| Datum::from(s)),
+            "[a-zA-Z0-9#\\x00 ]{0,12}".prop_map(Datum::from),
         ]
     }
 

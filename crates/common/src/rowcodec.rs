@@ -79,9 +79,7 @@ pub fn read_datum(buf: &[u8], pos: &mut usize) -> Result<Datum> {
                 .map_err(|_| ClydeError::Format("rowcodec: invalid utf-8".into()))?;
             Ok(Datum::str(s))
         }
-        other => Err(ClydeError::Format(format!(
-            "rowcodec: unknown tag {other}"
-        ))),
+        other => Err(ClydeError::Format(format!("rowcodec: unknown tag {other}"))),
     }
 }
 
@@ -225,7 +223,7 @@ mod tests {
             any::<i32>().prop_map(Datum::I32),
             any::<i64>().prop_map(Datum::I64),
             any::<f64>().prop_map(Datum::F64),
-            "[\\PC]{0,16}".prop_map(|s| Datum::from(s)),
+            "[\\PC]{0,16}".prop_map(Datum::from),
         ]
     }
 

@@ -18,6 +18,14 @@ pub struct Features {
     /// JVM reuse: share hash tables across consecutive tasks on a node.
     /// Meaningful only when `multithreading` is on; off forces rebuilds.
     pub jvm_reuse: bool,
+    /// Vectorized probe kernel: selection vectors over column slices and
+    /// dense group-id aggregation. Off = the scalar row-at-a-time probe
+    /// loop over the same blocks. Results are identical either way.
+    pub vectorized: bool,
+    /// Zone-map block skipping: CIF row groups whose per-column min/max
+    /// cannot satisfy the query's predicates are skipped without decoding.
+    /// Results are identical either way.
+    pub zone_skipping: bool,
 }
 
 impl Default for Features {
@@ -27,6 +35,8 @@ impl Default for Features {
             block_iteration: true,
             multithreading: true,
             jvm_reuse: true,
+            vectorized: true,
+            zone_skipping: true,
         }
     }
 }
@@ -58,13 +68,35 @@ impl Features {
         }
     }
 
+    pub fn without_vectorized() -> Features {
+        Features {
+            vectorized: false,
+            ..Features::default()
+        }
+    }
+
+    pub fn without_zone_skipping() -> Features {
+        Features {
+            zone_skipping: false,
+            ..Features::default()
+        }
+    }
+
     /// Human-readable label used by the ablation harness.
     pub fn label(&self) -> &'static str {
-        match (self.columnar, self.block_iteration, self.multithreading) {
-            (true, true, true) => "all-on",
-            (false, true, true) => "no-columnar",
-            (true, false, true) => "no-block-iteration",
-            (true, true, false) => "no-multithreading",
+        match (
+            self.columnar,
+            self.block_iteration,
+            self.multithreading,
+            self.vectorized,
+            self.zone_skipping,
+        ) {
+            (true, true, true, true, true) => "all-on",
+            (false, true, true, true, true) => "no-columnar",
+            (true, false, true, true, true) => "no-block-iteration",
+            (true, true, false, true, true) => "no-multithreading",
+            (true, true, true, false, true) => "no-vectorized",
+            (true, true, true, true, false) => "no-zone-skipping",
             _ => "custom",
         }
     }
@@ -78,6 +110,7 @@ mod tests {
     fn defaults_are_all_on() {
         let f = Features::default();
         assert!(f.columnar && f.block_iteration && f.multithreading && f.jvm_reuse);
+        assert!(f.vectorized && f.zone_skipping);
         assert_eq!(f.label(), "all-on");
     }
 
@@ -89,5 +122,12 @@ mod tests {
         assert!(!mt.multithreading && !mt.jvm_reuse);
         assert_eq!(mt.label(), "no-multithreading");
         assert_eq!(Features::without_columnar().label(), "no-columnar");
+        assert!(!Features::without_vectorized().vectorized);
+        assert_eq!(Features::without_vectorized().label(), "no-vectorized");
+        assert!(!Features::without_zone_skipping().zone_skipping);
+        assert_eq!(
+            Features::without_zone_skipping().label(),
+            "no-zone-skipping"
+        );
     }
 }

@@ -235,6 +235,7 @@ mod tests {
                 cif: true,
                 rcfile: false,
                 text: false,
+                cluster_by_date: true,
             },
         )
         .unwrap();
@@ -295,9 +296,10 @@ mod tests {
             Features::without_columnar(),
             Features::without_block_iteration(),
             Features::without_multithreading(),
+            Features::without_vectorized(),
+            Features::without_zone_skipping(),
         ] {
-            let ablated =
-                Clydesdale::with_features(Arc::clone(&dfs), layout.clone(), features);
+            let ablated = Clydesdale::with_features(Arc::clone(&dfs), layout.clone(), features);
             let r = ablated.query(&q).unwrap();
             assert_eq!(r.rows, expect, "{} changed results", features.label());
         }
@@ -309,8 +311,8 @@ mod tests {
             Features::without_columnar(),
         );
         let r = no_col.query(&q).unwrap();
-        let base_bytes = base.profile.total_map_cost().local_bytes
-            + base.profile.total_map_cost().remote_bytes;
+        let base_bytes =
+            base.profile.total_map_cost().local_bytes + base.profile.total_map_cost().remote_bytes;
         let ablated_bytes =
             r.profile.total_map_cost().local_bytes + r.profile.total_map_cost().remote_bytes;
         assert!(
@@ -329,11 +331,8 @@ mod tests {
         assert_eq!(r.profile.total_map_cost().block_rows, 0);
 
         // Multithreading-off builds tables once per task, not once per node.
-        let no_mt = Clydesdale::with_features(
-            Arc::clone(&dfs),
-            layout,
-            Features::without_multithreading(),
-        );
+        let no_mt =
+            Clydesdale::with_features(Arc::clone(&dfs), layout, Features::without_multithreading());
         let r = no_mt.query(&q).unwrap();
         let rebuilds = r
             .profile
@@ -350,6 +349,47 @@ mod tests {
         assert!(r.profile.memory_per_slot > 0);
         assert_eq!(r.profile.memory_shared, 0);
         assert!(base.profile.memory_shared > 0);
+    }
+
+    #[test]
+    fn zone_skipping_prunes_without_changing_results() {
+        let (dfs, layout, gen) = setup(0.01, 4);
+        let data = gen.gen_all();
+        let on = Clydesdale::new(Arc::clone(&dfs), layout.clone());
+        let off = Clydesdale::with_features(
+            Arc::clone(&dfs),
+            layout.clone(),
+            Features::without_zone_skipping(),
+        );
+        on.warm_dimension_cache().unwrap();
+        for id in ["Q1.1", "Q1.2", "Q1.3"] {
+            let q = query_by_id(id).unwrap();
+            let expect = reference_answer(&data, &q).unwrap();
+            let r_on = on.query(&q).unwrap();
+            let r_off = off.query(&q).unwrap();
+            assert_eq!(r_on.rows, expect, "{id} with zone maps");
+            assert_eq!(r_off.rows, expect, "{id} without zone maps");
+
+            let c_on = r_on.profile.total_map_cost();
+            let c_off = r_off.profile.total_map_cost();
+            // Flight 1 is date-selective; with date-clustered loading the
+            // zone maps must prove most groups irrelevant.
+            assert!(c_on.zone_checked > 0, "{id}: no zone checks recorded");
+            assert!(c_on.zone_skipped > 0, "{id}: no groups skipped");
+            assert_eq!(c_off.zone_checked, 0, "{id}: ablation must not check");
+            assert_eq!(c_off.zone_skipped, 0, "{id}: ablation must not skip");
+            // Skipping means fewer fact rows iterated and fewer bytes read.
+            assert!(
+                c_on.block_rows < c_off.block_rows,
+                "{id}: {} !< {}",
+                c_on.block_rows,
+                c_off.block_rows
+            );
+            assert!(
+                c_on.local_bytes + c_on.remote_bytes < c_off.local_bytes + c_off.remote_bytes,
+                "{id}: zone skipping must reduce scan bytes"
+            );
+        }
     }
 
     #[test]
@@ -408,6 +448,7 @@ mod limit_and_explain_tests {
                 cif: true,
                 rcfile: false,
                 text: false,
+                cluster_by_date: true,
             },
         )
         .unwrap();
@@ -427,10 +468,7 @@ mod limit_and_explain_tests {
 
     #[test]
     fn explain_describes_the_plan_without_executing() {
-        let dfs = Dfs::new(
-            ClusterSpec::cluster_a(),
-            DfsOptions::default(),
-        );
+        let dfs = Dfs::new(ClusterSpec::cluster_a(), DfsOptions::default());
         let clyde = Clydesdale::new(dfs, SsbLayout::default());
         let q = query_by_id("Q3.1").unwrap();
         let plan = clyde.explain(&q).unwrap();

@@ -7,15 +7,46 @@
 //! read-only and are shared by every thread and every subsequent task on
 //! the node without synchronization — exactly the property the paper
 //! exploits (Section 5.1).
+//!
+//! Qualifying rows additionally get a dense **group id** (`u32`, assigned
+//! in build order): the vectorized probe kernel works in ids and packs them
+//! into a single `u64` group key, rematerializing the aux `Row`s only once
+//! per task at emit time. [`DimHashTable::get`] still returns the aux row
+//! directly for the scalar paths.
 
 use clyde_common::{ClydeError, FxHashMap, Result, Row};
 use clyde_ssb::queries::DimJoin;
 use clyde_ssb::schema;
 
+/// Direct-index probe tables are built when the key range spans at most
+/// this many slots (16 MiB of `u32`). SSB dimension keys are small dense
+/// integers (or, for dates, a narrow `yyyymmdd` band), so measurement-scale
+/// tables always qualify; a dimension whose key range outgrows the cap
+/// falls back to hash probing transparently.
+const DIRECT_MAX_SLOTS: i64 = 1 << 22;
+
+/// Maximum slots-per-entry ratio for the direct-index table. Requiring
+/// density keeps the array's footprint proportional to the dimension's
+/// cardinality (so it scales like the hash map it shadows); sparse key
+/// encodings — e.g. yyyymmdd date keys, where a 7-year span occupies
+/// ~2.5k of ~69k slots — stay on the hash map.
+const DIRECT_MAX_SLOTS_PER_ENTRY: usize = 4;
+
+/// Sentinel in the direct-index table: key present in range but filtered
+/// out or absent.
+const NONE_ID: u32 = u32::MAX;
+
 /// A read-only hash table over one (filtered) dimension.
 #[derive(Debug)]
 pub struct DimHashTable {
-    map: FxHashMap<i64, Row>,
+    /// Primary key → dense aux id (index into `aux_rows`).
+    map: FxHashMap<i64, u32>,
+    /// Direct-index probe table `(min_key, ids)`: `ids[key - min_key]` is
+    /// the dense aux id or [`NONE_ID`]. Used by [`DimHashTable::get_id`]
+    /// (the vectorized kernel) — an array load instead of a hash probe.
+    direct: Option<(i64, Vec<u32>)>,
+    /// Aux rows in id order; the group-id dictionary.
+    aux_rows: Vec<Row>,
     /// Rows scanned while building (qualifying or not) — the build cost.
     pub rows_scanned: u64,
     /// Approximate heap footprint, for the node memory model.
@@ -36,26 +67,52 @@ impl DimHashTable {
             .map(|a| dim_schema.index_of(a))
             .collect::<Result<_>>()?;
 
-        let mut map: FxHashMap<i64, Row> = FxHashMap::default();
+        let mut map: FxHashMap<i64, u32> = FxHashMap::default();
+        let mut aux_rows: Vec<Row> = Vec::new();
         let mut mem = 0u64;
         for r in rows {
             if !pred.eval(r) {
                 continue;
             }
             let pk = r.at(pk_idx).as_i64().ok_or_else(|| {
-                ClydeError::Plan(format!("{}.{} is not an integer key", join.dimension, join.pk))
+                ClydeError::Plan(format!(
+                    "{}.{} is not an integer key",
+                    join.dimension, join.pk
+                ))
             })?;
             let aux: Row = aux_idx.iter().map(|&i| r.at(i).clone()).collect();
             mem += 8 + aux.heap_size() as u64 + 16; // key + value + bucket overhead
-            if map.insert(pk, aux).is_some() {
+            let id = aux_rows.len() as u32;
+            if map.insert(pk, id).is_some() {
                 return Err(ClydeError::Plan(format!(
                     "duplicate primary key {pk} in dimension {}",
                     join.dimension
                 )));
             }
+            aux_rows.push(aux);
         }
+        // Direct-index table over the qualifying-key range, when the range
+        // is both narrow and dense. Built from the finished map, so
+        // duplicate detection above is unaffected.
+        let direct = match (map.keys().min(), map.keys().max()) {
+            (Some(&lo), Some(&hi))
+                if hi - lo < DIRECT_MAX_SLOTS
+                    && (hi - lo + 1) as usize
+                        <= map.len().saturating_mul(DIRECT_MAX_SLOTS_PER_ENTRY) =>
+            {
+                let mut ids = vec![NONE_ID; (hi - lo + 1) as usize];
+                for (&pk, &id) in &map {
+                    ids[(pk - lo) as usize] = id;
+                }
+                mem += 4 * ids.len() as u64;
+                Some((lo, ids))
+            }
+            _ => None,
+        };
         Ok(DimHashTable {
             map,
+            direct,
+            aux_rows,
             rows_scanned: rows.len() as u64,
             mem_bytes: mem,
         })
@@ -64,7 +121,38 @@ impl DimHashTable {
     /// Probe by foreign key; `None` both for filtered-out and absent keys.
     #[inline]
     pub fn get(&self, fk: i64) -> Option<&Row> {
-        self.map.get(&fk)
+        self.map.get(&fk).map(|&id| &self.aux_rows[id as usize])
+    }
+
+    /// Probe by foreign key for the dense aux id (vectorized kernel path):
+    /// a bounds-checked array load when the direct-index table exists, a
+    /// hash probe otherwise. Identical hit/miss behavior to
+    /// [`DimHashTable::get`] either way.
+    #[inline]
+    pub fn get_id(&self, fk: i64) -> Option<u32> {
+        match &self.direct {
+            Some((min, ids)) => {
+                let idx = fk.wrapping_sub(*min);
+                if (idx as u64) < ids.len() as u64 {
+                    let id = ids[idx as usize];
+                    (id != NONE_ID).then_some(id)
+                } else {
+                    None
+                }
+            }
+            None => self.map.get(&fk).copied(),
+        }
+    }
+
+    /// Aux row for a dense id returned by [`DimHashTable::get_id`].
+    #[inline]
+    pub fn aux(&self, id: u32) -> &Row {
+        &self.aux_rows[id as usize]
+    }
+
+    /// Size of the dense id space (= qualifying entries).
+    pub fn num_ids(&self) -> usize {
+        self.aux_rows.len()
     }
 
     /// Qualifying entries.
@@ -90,19 +178,47 @@ pub struct DimTables {
 impl DimTables {
     /// Build all tables for `joins`, fetching dimension rows through
     /// `fetch` (node-local cache, the DFS, or in-memory test data).
+    ///
+    /// Fetches run sequentially (`fetch` is `FnMut` and usually I/O-bound on
+    /// a shared cache), then the CPU-bound builds run on one scoped thread
+    /// per dimension — the paper notes build parallelism is bounded by the
+    /// number of dimensions (Section 4.2). Accounting is accumulated in
+    /// join order, so `build_rows`/`mem_bytes` are identical to a
+    /// sequential build.
     pub fn build_all(
         joins: &[DimJoin],
         mut fetch: impl FnMut(&str) -> Result<Vec<Row>>,
     ) -> Result<DimTables> {
+        let fetched: Vec<Vec<Row>> = joins
+            .iter()
+            .map(|j| fetch(&j.dimension))
+            .collect::<Result<_>>()?;
+
+        let built: Vec<Result<DimHashTable>> = if joins.len() <= 1 {
+            joins
+                .iter()
+                .zip(&fetched)
+                .map(|(join, rows)| DimHashTable::build(join, rows))
+                .collect()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = joins
+                    .iter()
+                    .zip(&fetched)
+                    .map(|(join, rows)| s.spawn(move || DimHashTable::build(join, rows)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("dimension build thread panicked"))
+                    .collect()
+            })
+        };
+
         let mut tables = Vec::with_capacity(joins.len());
         let mut build_rows = 0;
         let mut mem_bytes = 0;
-        // Single-threaded, one table at a time — the paper notes the build
-        // phase parallelism is limited to the number of dimensions and
-        // keeps it simple (Section 4.2).
-        for join in joins {
-            let rows = fetch(&join.dimension)?;
-            let t = DimHashTable::build(join, &rows)?;
+        for t in built {
+            let t = t?;
             build_rows += t.rows_scanned;
             mem_bytes += t.mem_bytes;
             tables.push(t);
@@ -150,6 +266,61 @@ mod tests {
     }
 
     #[test]
+    fn group_ids_are_dense_and_consistent() {
+        let dates = SsbGen::new(0.001, 1).gen_date();
+        let t = DimHashTable::build(&date_join_year(1993), &dates).unwrap();
+        assert_eq!(t.num_ids(), t.len());
+        let mut seen = vec![false; t.num_ids()];
+        for r in &dates {
+            let pk = r.at(0).as_i64().unwrap();
+            match t.get_id(pk) {
+                Some(id) => {
+                    // Dense, in-range, and aux(id) is exactly what get() sees.
+                    assert!((id as usize) < t.num_ids());
+                    seen[id as usize] = true;
+                    assert_eq!(t.aux(id), t.get(pk).unwrap());
+                }
+                None => assert!(t.get(pk).is_none()),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every id must be reachable");
+        // Probes outside the direct-index key range miss cleanly.
+        assert!(t.get_id(0).is_none());
+        assert!(t.get_id(-1).is_none());
+        assert!(t.get_id(i64::MAX).is_none());
+        assert!(t.get_id(i64::MIN).is_none());
+    }
+
+    #[test]
+    fn sparse_key_range_falls_back_to_hash_probing() {
+        // A key tens of millions away from the rest pushes the range past
+        // DIRECT_MAX_SLOTS; get_id must silently use the hash map and still
+        // agree with get() everywhere.
+        let dates = SsbGen::new(0.001, 1).gen_date();
+        let mut rows: Vec<Row> = dates.iter().take(50).cloned().collect();
+        let far: Row = (0..rows[0].len())
+            .map(|i| {
+                if i == 0 {
+                    clyde_common::Datum::I32(250_000_000)
+                } else {
+                    rows[0].at(i).clone()
+                }
+            })
+            .collect();
+        rows.push(far);
+        let mut join = date_join_year(0);
+        join.predicate = DimPred::True;
+        let t = DimHashTable::build(&join, &rows).unwrap();
+        assert_eq!(t.len(), 51);
+        for r in &rows {
+            let pk = r.at(0).as_i64().unwrap();
+            assert_eq!(t.get_id(pk).map(|id| t.aux(id)), t.get(pk));
+        }
+        assert!(t.get_id(250_000_000).is_some());
+        assert!(t.get_id(123).is_none());
+    }
+
+    #[test]
     fn empty_aux_tables_work() {
         // Flight 1 joins carry no auxiliary columns — the probe is a filter.
         let dates = SsbGen::new(0.001, 1).gen_date();
@@ -178,10 +349,9 @@ mod tests {
     fn build_all_for_q21() {
         let data = SsbGen::new(0.005, 46).gen_all();
         let q = query_by_id("Q2.1").unwrap();
-        let tables = DimTables::build_all(&q.joins, |dim| {
-            Ok(data.dimension(dim).unwrap().to_vec())
-        })
-        .unwrap();
+        let tables =
+            DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+                .unwrap();
         assert_eq!(tables.tables.len(), 3);
         // Join order is date, part, supplier. Date is unfiltered.
         assert_eq!(tables.tables[0].len(), 2557);
@@ -197,11 +367,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_sequential_accounting() {
+        let data = SsbGen::new(0.005, 46).gen_all();
+        let q = query_by_id("Q4.1").unwrap(); // four dimensions
+        let tables =
+            DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+                .unwrap();
+        // Sequential ground truth.
+        let mut build_rows = 0u64;
+        let mut mem_bytes = 0u64;
+        for join in &q.joins {
+            let rows = data.dimension(&join.dimension).unwrap();
+            let t = DimHashTable::build(join, rows).unwrap();
+            build_rows += t.rows_scanned;
+            mem_bytes += t.mem_bytes;
+        }
+        assert_eq!(tables.build_rows, build_rows);
+        assert_eq!(tables.mem_bytes, mem_bytes);
+    }
+
+    #[test]
     fn build_all_propagates_fetch_errors() {
         let q = query_by_id("Q2.1").unwrap();
-        let r = DimTables::build_all(&q.joins, |_| {
-            Err(ClydeError::Dfs("cache miss".into()))
-        });
+        let r = DimTables::build_all(&q.joins, |_| Err(ClydeError::Dfs("cache miss".into())));
         assert!(r.is_err());
     }
 }

@@ -15,7 +15,9 @@
 
 use crate::config::Features;
 use crate::hashtable::DimTables;
-use crate::probe::{probe_block, probe_row, ProbePlan, ProbeStats};
+use crate::probe::{
+    probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
+};
 use clyde_common::{rowcodec, ClydeError, Datum, FxHashMap, Result, Row, Schema};
 use clyde_mapred::{MapRunner, MapTaskContext, Reader};
 use clyde_ssb::loader::SsbLayout;
@@ -43,9 +45,7 @@ impl MtMapRunner {
                 // Dimensions come from the node-local cache (Figure 2); a
                 // node that lost its copy re-fetches from the DFS.
                 let path = self.layout.dim_bin(dim);
-                let data = ctx
-                    .local_store
-                    .get_or_fetch(ctx.node, &path, &ctx.io.dfs)?;
+                let data = ctx.local_store.get_or_fetch(ctx.node, &path, &ctx.io.dfs)?;
                 rowcodec::read_rows(&data)
             })
         })?;
@@ -68,25 +68,40 @@ impl MapRunner for MtMapRunner {
     fn run(&self, ctx: &MapTaskContext<'_>) -> Result<()> {
         let tables = self.acquire_tables(ctx)?;
         let plan = ProbePlan::compile(&self.query, &self.scan_schema)?;
+        // The vectorized kernel needs a packed group-key layout; fall back
+        // to the scalar kernel when ablated or when the key would not fit.
+        let layout = if self.features.vectorized {
+            GroupLayout::new(&plan, &tables)
+        } else {
+            None
+        };
 
         let parts = ctx.split.spec.num_parts();
         let threads = (ctx.threads as usize).min(parts).max(1);
         let next_part = AtomicUsize::new(0);
         let global_acc: Mutex<FxHashMap<Row, i64>> = Mutex::new(FxHashMap::default());
-        let global_stats: Mutex<(ProbeStats, u64)> = Mutex::new((ProbeStats::default(), 0));
+        let global_vacc: Option<Mutex<GroupAcc>> = layout
+            .as_ref()
+            .map(|l| Mutex::new(GroupAcc::new(l, &self.query.aggregate)));
+        let global_stats: Mutex<ProbeStats> = Mutex::new(ProbeStats::default());
 
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 let tables = &tables;
                 let plan = &plan;
+                let layout = &layout;
                 let next_part = &next_part;
                 let global_acc = &global_acc;
+                let global_vacc = &global_vacc;
                 let global_stats = &global_stats;
                 handles.push(scope.spawn(move || -> Result<()> {
                     let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
+                    let mut vacc = layout
+                        .as_ref()
+                        .map(|l| GroupAcc::new(l, &self.query.aggregate));
+                    let mut buf = SelBuf::default();
                     let mut stats = ProbeStats::default();
-                    let mut rows_seen = 0u64;
                     loop {
                         let part = next_part.fetch_add(1, Ordering::Relaxed);
                         if part >= parts {
@@ -95,13 +110,18 @@ impl MapRunner for MtMapRunner {
                         match ctx.input.open(ctx.split, part, &ctx.io)? {
                             Reader::Blocks(mut r) => {
                                 while let Some(block) = r.next_block()? {
-                                    rows_seen += block.len() as u64;
-                                    probe_block(&block, plan, tables, &mut acc, &mut stats)?;
+                                    match (&mut vacc, layout) {
+                                        (Some(va), Some(l)) => probe_block_vec(
+                                            &block, plan, tables, l, va, &mut buf, &mut stats,
+                                        )?,
+                                        _ => {
+                                            probe_block(&block, plan, tables, &mut acc, &mut stats)?
+                                        }
+                                    }
                                 }
                             }
                             Reader::Rows(mut r) => {
                                 while let Some((_, row)) = r.next()? {
-                                    rows_seen += 1;
                                     probe_row(&row, plan, tables, &mut acc, &mut stats)?;
                                 }
                             }
@@ -110,14 +130,17 @@ impl MapRunner for MtMapRunner {
                     // Merge the thread-local aggregates with the query's
                     // fold (sum/min/max/count are all algebraic).
                     let agg = &self.query.aggregate;
-                    let mut g = global_acc.lock();
-                    for (k, v) in acc {
-                        let slot = g.entry(k).or_insert_with(|| agg.identity());
-                        *slot = agg.fold(*slot, v);
+                    if !acc.is_empty() {
+                        let mut g = global_acc.lock();
+                        for (k, v) in acc {
+                            let slot = g.entry(k).or_insert_with(|| agg.identity());
+                            *slot = agg.fold(*slot, v);
+                        }
                     }
-                    let mut s = global_stats.lock();
-                    s.0.add(&stats);
-                    s.1 += rows_seen;
+                    if let (Some(va), Some(gv)) = (vacc, global_vacc) {
+                        gv.lock().merge(va, agg);
+                    }
+                    global_stats.lock().add(&stats);
                     Ok(())
                 }));
             }
@@ -128,18 +151,30 @@ impl MapRunner for MtMapRunner {
             Ok(())
         })?;
 
-        let (stats, rows_seen) = global_stats.into_inner();
+        let stats = global_stats.into_inner();
         ctx.add_cost(|c| {
             if self.features.block_iteration {
-                c.block_rows += rows_seen;
+                c.block_rows += stats.rows;
             } else {
-                c.rowiter_rows += rows_seen;
+                c.rowiter_rows += stats.rows;
             }
             c.probe_rows += stats.probes;
         });
 
+        // Rematerialize the packed-key groups once per task: distinct
+        // dimension rows can share aux values, so fold (don't overwrite)
+        // into the row-keyed map.
+        let mut acc = global_acc.into_inner();
+        if let (Some(vacc), Some(l)) = (global_vacc, &layout) {
+            let agg = &self.query.aggregate;
+            for (key, v) in vacc.into_inner().entries() {
+                let row = l.rematerialize(key, &tables);
+                let slot = acc.entry(row).or_insert_with(|| agg.identity());
+                *slot = agg.fold(*slot, v);
+            }
+        }
+
         // Emit one record per group: key = group columns, value = partial sum.
-        let acc = global_acc.into_inner();
         let mut groups: Vec<(Row, i64)> = acc.into_iter().collect();
         groups.sort(); // deterministic emission order
         for (key, sum) in groups {

@@ -5,13 +5,13 @@
 
 use crate::config::Features;
 use crate::mtrunner::MtMapRunner;
-use clyde_columnar::{CifInputFormat, MultiSplit, ScanMode};
+use clyde_columnar::{CifInputFormat, MultiSplit, ScanMode, ZonePred};
 use clyde_common::{ClydeError, Result, Row, Schema};
 use clyde_dfs::ClusterSpec;
 use clyde_mapred::shuffle::FnReducer;
 use clyde_mapred::{JobSpec, OutputSpec};
 use clyde_ssb::loader::SsbLayout;
-use clyde_ssb::queries::StarQuery;
+use clyde_ssb::queries::{DimPred, FactPred, StarQuery};
 use clyde_ssb::schema;
 use std::sync::Arc;
 
@@ -29,6 +29,80 @@ pub fn scan_schema(query: &StarQuery, features: &Features) -> Result<(Vec<String
         .map(|n| fact.index_of(n))
         .collect::<Result<_>>()?;
     Ok((names.clone(), fact.project(&idx)))
+}
+
+/// Conjunctive range predicates the scan can prune row groups with: the
+/// query's own fact-column predicates, plus a `lo_orderdate` range derived
+/// from the date dimension's filter. Datekeys are `yyyymmdd` integers, so
+/// year / yearmonth filters translate to contiguous key ranges — and the
+/// loader's date clustering makes those ranges line up with row groups.
+/// Pruning with these is purely an optimization; results never change.
+pub fn zone_preds(query: &StarQuery) -> Vec<ZonePred> {
+    let mut out = Vec::new();
+    for p in &query.fact_preds {
+        match p {
+            FactPred::I32Between { column, lo, hi } => {
+                out.push(ZonePred::new(column.clone(), *lo, *hi));
+            }
+            FactPred::I32Lt { column, value } => {
+                out.push(ZonePred::new(
+                    column.clone(),
+                    i32::MIN,
+                    value.saturating_sub(1),
+                ));
+            }
+        }
+    }
+    for j in &query.joins {
+        if j.dimension == schema::DATE && j.pk == "d_datekey" {
+            if let Some((lo, hi)) = date_pred_range(&j.predicate) {
+                out.push(ZonePred::new(j.fk.clone(), lo, hi));
+            }
+        }
+    }
+    out
+}
+
+/// Translate a date-dimension predicate into an inclusive `d_datekey`
+/// range, when one exists. Conservative: `None` when the predicate doesn't
+/// constrain the key to a contiguous range we can prove.
+fn date_pred_range(p: &DimPred) -> Option<(i32, i32)> {
+    let year_span = |lo: i32, hi: i32| (lo * 10_000 + 101, hi * 10_000 + 1231);
+    match p {
+        DimPred::I32Eq { column, value } if column == "d_year" => Some(year_span(*value, *value)),
+        DimPred::I32Eq { column, value } if column == "d_yearmonthnum" => {
+            // yyyymm -> [yyyymm01, yyyymm31].
+            Some((value * 100 + 1, value * 100 + 31))
+        }
+        DimPred::I32Between { column, lo, hi } if column == "d_year" => Some(year_span(*lo, *hi)),
+        DimPred::I32In { column, values } if column == "d_year" && !values.is_empty() => {
+            Some(year_span(
+                *values.iter().min().expect("non-empty"),
+                *values.iter().max().expect("non-empty"),
+            ))
+        }
+        DimPred::StrEq { column, value } if column == "d_yearmonth" => {
+            // "Dec1997": three-letter month abbreviation + year.
+            let (mon, year) = value.split_at(3.min(value.len()));
+            let m = schema::MONTHS.iter().position(|&(_, abbr)| abbr == mon)? as i32 + 1;
+            let y: i32 = year.parse().ok()?;
+            Some((y * 10_000 + m * 100 + 1, y * 10_000 + m * 100 + 31))
+        }
+        DimPred::And(ps) => {
+            // Intersect whichever conjuncts translate.
+            let mut acc: Option<(i32, i32)> = None;
+            for p in ps {
+                if let Some((lo, hi)) = date_pred_range(p) {
+                    acc = Some(match acc {
+                        Some((a, b)) => (a.max(lo), b.min(hi)),
+                        None => (lo, hi),
+                    });
+                }
+            }
+            acc
+        }
+        _ => None,
+    }
 }
 
 /// Build the MapReduce job for `query`.
@@ -56,10 +130,13 @@ pub fn plan_query(
     } else {
         MultiSplit::Single
     };
-    let input = CifInputFormat::new(layout.fact_cif())
+    let mut input = CifInputFormat::new(layout.fact_cif())
         .with_columns(scan_cols)
         .with_mode(mode)
         .with_multi(multi);
+    if features.zone_skipping {
+        input = input.with_zone_preds(zone_preds(query));
+    }
 
     let runner = MtMapRunner {
         query: Arc::new(query.clone()),
@@ -79,9 +156,10 @@ pub fn plan_query(
         move |key: &Row, values: &[Row], out: &mut Vec<Row>| {
             let mut acc = agg.identity();
             for v in values {
-                let partial = v.at(0).as_i64().ok_or_else(|| {
-                    ClydeError::MapReduce("non-integer partial aggregate".into())
-                })?;
+                let partial = v
+                    .at(0)
+                    .as_i64()
+                    .ok_or_else(|| ClydeError::MapReduce("non-integer partial aggregate".into()))?;
                 acc = agg.fold(acc, partial);
             }
             out.push(key.concat(&clyde_common::row![acc]));
@@ -133,6 +211,32 @@ mod tests {
         assert!(spec.reuse_jvm);
         assert_eq!(spec.num_reducers, 8);
         assert!(spec.reducer.is_some());
+    }
+
+    #[test]
+    fn zone_preds_cover_fact_and_date_predicates() {
+        // Q1.1: d_year = 1993, discount in [1,3], quantity < 25.
+        let q = query_by_id("Q1.1").unwrap();
+        let zp = zone_preds(&q);
+        assert!(zp.contains(&ZonePred::new("lo_discount", 1, 3)));
+        assert!(zp.contains(&ZonePred::new("lo_quantity", i32::MIN, 24)));
+        assert!(zp.contains(&ZonePred::new("lo_orderdate", 19930101, 19931231)));
+
+        // Q1.2 filters on d_yearmonthnum = 199401.
+        let q12 = query_by_id("Q1.2").unwrap();
+        assert!(zone_preds(&q12).contains(&ZonePred::new("lo_orderdate", 19940101, 19940131)));
+
+        // Q3.4 filters on d_yearmonth = "Dec1997".
+        let q34 = query_by_id("Q3.4").unwrap();
+        assert!(zone_preds(&q34).contains(&ZonePred::new("lo_orderdate", 19971201, 19971231)));
+
+        // Q4.2 restricts d_year to {1997, 1998}.
+        let q42 = query_by_id("Q4.2").unwrap();
+        assert!(zone_preds(&q42).contains(&ZonePred::new("lo_orderdate", 19970101, 19981231)));
+
+        // Q2.1's date join is unfiltered: no fact preds, no date range.
+        let q21 = query_by_id("Q2.1").unwrap();
+        assert!(zone_preds(&q21).is_empty());
     }
 
     #[test]

@@ -1,17 +1,25 @@
 //! The probe phase: fact rows against the dimension hash tables.
 //!
-//! Two implementations of the same logic:
+//! Three implementations of the same logic:
 //!
-//! * [`probe_block`] — B-CIF block iteration (Section 5.3): tight loops over
-//!   typed column slices, no per-row materialization;
-//! * [`probe_row`] — row-at-a-time, used when the block-iteration feature is
-//!   ablated.
+//! * [`probe_block_vec`] — the default vectorized kernel: fact predicates
+//!   are evaluated over whole column slices into a reusable *selection
+//!   vector*, each dimension table is probed batch-at-a-time over the
+//!   surviving indices, and groups are aggregated under packed `u64` keys
+//!   of dense per-join aux ids (see [`GroupLayout`]). Group `Row`s are
+//!   rematerialized once per task at emit time, not once per fact row;
+//! * [`probe_block`] — scalar B-CIF block iteration (Section 5.3): a
+//!   row-at-a-time loop over typed column slices;
+//! * [`probe_row`] — row-at-a-time over materialized rows, used when the
+//!   block-iteration feature is ablated.
 //!
-//! Both use **early-out** (Section 4.2): the first failed dimension probe
-//! abandons the row, so highly selective dimensions placed early make later
-//! probes rare. Aggregation happens *inside the task* into a group hash map
-//! (the combiner pattern of Figure 4), so a map task emits one record per
-//! group, not per fact row.
+//! All use **early-out** (Section 4.2): the first failed dimension probe
+//! abandons the row — in the vectorized kernel the selection vector simply
+//! shrinks after each join, so later joins probe fewer keys. All three
+//! paths produce byte-identical results and identical [`ProbeStats`].
+//! Aggregation happens *inside the task* into a group map (the combiner
+//! pattern of Figure 4), so a map task emits one record per group, not per
+//! fact row.
 
 use crate::hashtable::DimTables;
 use clyde_common::{ClydeError, FxHashMap, Result, Row, RowBlock, Schema};
@@ -115,14 +123,12 @@ pub fn probe_block(
         .collect();
     let slice = |idx: usize| -> Result<&[i32]> {
         i32_slices[idx].ok_or_else(|| {
-            ClydeError::Plan(format!("scan column {idx} is not i32 but the probe needs it"))
+            ClydeError::Plan(format!(
+                "scan column {idx} is not i32 but the probe needs it"
+            ))
         })
     };
-    let fk_slices: Vec<&[i32]> = plan
-        .fks
-        .iter()
-        .map(|&i| slice(i))
-        .collect::<Result<_>>()?;
+    let fk_slices: Vec<&[i32]> = plan.fks.iter().map(|&i| slice(i)).collect::<Result<_>>()?;
     let pred_slices: Vec<&[i32]> = plan
         .fact_preds
         .iter()
@@ -163,6 +169,280 @@ pub fn probe_block(
         let measure = plan.aggregate.eval_i64(agg_a, agg_b, i);
         let slot = acc.entry(key).or_insert_with(|| plan.aggregate.identity());
         *slot = plan.aggregate.fold(*slot, measure);
+    }
+    Ok(())
+}
+
+/// One group-contributing join inside a [`GroupLayout`]: its dense aux ids
+/// occupy `bits` bits of the packed key starting at `shift`.
+#[derive(Debug, Clone, Copy)]
+struct JoinPack {
+    ji: usize,
+    shift: u32,
+    mask: u64,
+}
+
+/// Packed `u64` group-key layout for the vectorized kernel.
+///
+/// Each group-contributing join gets a bit field wide enough for that
+/// dimension table's dense id space ([`crate::hashtable::DimHashTable::num_ids`]); the packed key
+/// is the concatenation of the per-join ids. The aux `Row`s behind the ids
+/// are only materialized by [`GroupLayout::rematerialize`] at emit time.
+#[derive(Debug, Clone)]
+pub struct GroupLayout {
+    /// Distinct group-contributing joins, in first-appearance order.
+    packs: Vec<JoinPack>,
+    /// For each `group_src` entry: (index into `packs`, aux column index).
+    src: Vec<(usize, usize)>,
+    /// Per join index: the shift to OR its id at, if it contributes.
+    shift_of: Vec<Option<u32>>,
+    total_bits: u32,
+}
+
+/// Dense aggregation is used when the whole packed key space fits in this
+/// many bits (64 Ki slots, ~512 KiB of `i64`).
+const DENSE_BITS: u32 = 16;
+
+impl GroupLayout {
+    /// Compute the layout for a plan against built tables. Returns `None`
+    /// when the packed key would not fit in 63 bits — the caller falls back
+    /// to the scalar kernel with materialized `Row` keys.
+    pub fn new(plan: &ProbePlan, tables: &DimTables) -> Option<GroupLayout> {
+        let mut packs: Vec<JoinPack> = Vec::new();
+        let mut src = Vec::with_capacity(plan.group_src.len());
+        let mut shift = 0u32;
+        for &(ji, ai) in &plan.group_src {
+            let pi = match packs.iter().position(|p| p.ji == ji) {
+                Some(pi) => pi,
+                None => {
+                    let n = tables.tables[ji].num_ids();
+                    let bits = if n <= 1 {
+                        0
+                    } else {
+                        64 - ((n - 1) as u64).leading_zeros()
+                    };
+                    packs.push(JoinPack {
+                        ji,
+                        shift,
+                        mask: if bits == 0 { 0 } else { (1u64 << bits) - 1 },
+                    });
+                    shift += bits;
+                    if shift > 63 {
+                        return None;
+                    }
+                    packs.len() - 1
+                }
+            };
+            src.push((pi, ai));
+        }
+        let njoins = tables.tables.len();
+        let mut shift_of = vec![None; njoins];
+        for p in &packs {
+            shift_of[p.ji] = Some(p.shift);
+        }
+        Some(GroupLayout {
+            packs,
+            src,
+            shift_of,
+            total_bits: shift,
+        })
+    }
+
+    /// Whether the packed key space is small enough for a dense array.
+    pub fn dense_slots(&self) -> Option<usize> {
+        (self.total_bits <= DENSE_BITS).then(|| 1usize << self.total_bits)
+    }
+
+    /// Expand a packed key back into the group-by `Row` (emit time).
+    pub fn rematerialize(&self, key: u64, tables: &DimTables) -> Row {
+        self.src
+            .iter()
+            .map(|&(pi, ai)| {
+                let p = self.packs[pi];
+                let id = ((key >> p.shift) & p.mask) as u32;
+                tables.tables[p.ji].aux(id).at(ai).clone()
+            })
+            .collect()
+    }
+}
+
+/// Per-thread group accumulator for the vectorized kernel: a dense array
+/// when the packed key space is small (e.g. flight 1 has no group-by at
+/// all), a hash map on `u64` keys otherwise. Either way the keys stay
+/// packed ids — no `Row` allocation on the hot path.
+#[derive(Debug)]
+pub enum GroupAcc {
+    Dense { slots: Vec<i64>, hit: Vec<bool> },
+    Sparse(FxHashMap<u64, i64>),
+}
+
+impl GroupAcc {
+    pub fn new(layout: &GroupLayout, aggregate: &Aggregate) -> GroupAcc {
+        match layout.dense_slots() {
+            Some(n) => GroupAcc::Dense {
+                slots: vec![aggregate.identity(); n],
+                hit: vec![false; n],
+            },
+            None => GroupAcc::Sparse(FxHashMap::default()),
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self, key: u64, measure: i64, aggregate: &Aggregate) {
+        match self {
+            GroupAcc::Dense { slots, hit } => {
+                let k = key as usize;
+                slots[k] = aggregate.fold(slots[k], measure);
+                hit[k] = true;
+            }
+            GroupAcc::Sparse(map) => {
+                let slot = map.entry(key).or_insert_with(|| aggregate.identity());
+                *slot = aggregate.fold(*slot, measure);
+            }
+        }
+    }
+
+    /// Fold another accumulator (same layout) into this one.
+    pub fn merge(&mut self, other: GroupAcc, aggregate: &Aggregate) {
+        for (key, v) in other.entries() {
+            self.fold(key, v, aggregate);
+        }
+    }
+
+    /// The populated (packed key, partial aggregate) pairs.
+    pub fn entries(&self) -> Vec<(u64, i64)> {
+        match self {
+            GroupAcc::Dense { slots, hit } => slots
+                .iter()
+                .zip(hit)
+                .enumerate()
+                .filter(|(_, (_, &h))| h)
+                .map(|(k, (&v, _))| (k as u64, v))
+                .collect(),
+            GroupAcc::Sparse(map) => map.iter().map(|(&k, &v)| (k, v)).collect(),
+        }
+    }
+}
+
+/// Reusable scratch for [`probe_block_vec`]: the selection vector and the
+/// packed group keys of the rows it selects. One per probe thread, reused
+/// across blocks so the hot loop never allocates.
+#[derive(Debug, Default)]
+pub struct SelBuf {
+    sel: Vec<u32>,
+    keys: Vec<u64>,
+}
+
+#[inline]
+fn pred_ok(p: &CompiledFactPred, v: i32) -> bool {
+    match *p {
+        CompiledFactPred::Between { lo, hi, .. } => v >= lo && v <= hi,
+        CompiledFactPred::Lt { value, .. } => v < value,
+    }
+}
+
+/// Vectorized probe of one column block (the default kernel).
+///
+/// Same semantics and identical [`ProbeStats`] as [`probe_block`]: each
+/// fact predicate and each join shrinks the selection vector, and a join
+/// only probes indices that survived every earlier stage — early-out as
+/// vector compaction. Aggregates land in `acc` under packed group-id keys;
+/// use [`GroupLayout::rematerialize`] to recover the group `Row`s.
+pub fn probe_block_vec(
+    block: &RowBlock,
+    plan: &ProbePlan,
+    tables: &DimTables,
+    layout: &GroupLayout,
+    acc: &mut GroupAcc,
+    buf: &mut SelBuf,
+    stats: &mut ProbeStats,
+) -> Result<()> {
+    if plan.fks.len() > MAX_JOINS {
+        return Err(ClydeError::Plan("too many dimension joins".into()));
+    }
+    let i32_slices: Vec<Option<&[i32]>> = block
+        .columns()
+        .iter()
+        .map(|c| match c {
+            clyde_common::ColumnData::I32(v) => Some(v.as_slice()),
+            _ => None,
+        })
+        .collect();
+    let slice = |idx: usize| -> Result<&[i32]> {
+        i32_slices[idx].ok_or_else(|| {
+            ClydeError::Plan(format!(
+                "scan column {idx} is not i32 but the probe needs it"
+            ))
+        })
+    };
+    let fk_slices: Vec<&[i32]> = plan.fks.iter().map(|&i| slice(i)).collect::<Result<_>>()?;
+    let pred_slices: Vec<&[i32]> = plan
+        .fact_preds
+        .iter()
+        .map(|p| slice(p.col()))
+        .collect::<Result<_>>()?;
+    let agg_a = plan.agg_a.map(slice).transpose()?;
+    let agg_b = plan.agg_b.map(slice).transpose()?;
+
+    let n = block.len();
+    stats.rows += n as u64;
+    let SelBuf { sel, keys } = buf;
+
+    // Predicate stage: build the selection vector. The first predicate
+    // filters the full index range directly; later ones compact in place.
+    sel.clear();
+    match (plan.fact_preds.first(), pred_slices.first()) {
+        (Some(p), Some(s)) => {
+            for (i, &v) in s.iter().enumerate().take(n) {
+                if pred_ok(p, v) {
+                    sel.push(i as u32);
+                }
+            }
+        }
+        _ => sel.extend(0..n as u32),
+    }
+    for (p, s) in plan.fact_preds.iter().zip(&pred_slices).skip(1) {
+        let mut w = 0;
+        for r in 0..sel.len() {
+            let i = sel[r];
+            if pred_ok(p, s[i as usize]) {
+                sel[w] = i;
+                w += 1;
+            }
+        }
+        sel.truncate(w);
+    }
+
+    // Join stage: probe each dimension over the surviving indices, packing
+    // group-contributing ids into `keys` as the vector compacts.
+    keys.clear();
+    keys.resize(sel.len(), 0);
+    for (j, fk_col) in fk_slices.iter().enumerate() {
+        stats.probes += sel.len() as u64;
+        let table = &tables.tables[j];
+        let shift = layout.shift_of[j];
+        let mut w = 0;
+        for r in 0..sel.len() {
+            let i = sel[r];
+            if let Some(id) = table.get_id(i64::from(fk_col[i as usize])) {
+                sel[w] = i;
+                keys[w] = keys[r]
+                    | match shift {
+                        Some(sh) => u64::from(id) << sh,
+                        None => 0,
+                    };
+                w += 1;
+            }
+        }
+        sel.truncate(w);
+        keys.truncate(w);
+    }
+    stats.survivors += sel.len() as u64;
+
+    // Aggregate stage: fold each survivor's measure into its packed group.
+    for (r, &i) in sel.iter().enumerate() {
+        let measure = plan.aggregate.eval_i64(agg_a, agg_b, i as usize);
+        acc.fold(keys[r], measure, &plan.aggregate);
     }
     Ok(())
 }
@@ -249,10 +529,9 @@ mod tests {
             .collect();
         let scan_schema = fact_schema.project(&scan_cols);
         let plan = ProbePlan::compile(&q, &scan_schema).unwrap();
-        let tables = DimTables::build_all(&q.joins, |dim| {
-            Ok(data.dimension(dim).unwrap().to_vec())
-        })
-        .unwrap();
+        let tables =
+            DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+                .unwrap();
         (data, q, scan_schema, scan_cols, plan, tables)
     }
 
@@ -317,10 +596,9 @@ mod tests {
             .collect();
         let scan_schema = fact_schema.project(&cols);
         let plan = ProbePlan::compile(&q, &scan_schema).unwrap();
-        let tables = DimTables::build_all(&q.joins, |dim| {
-            Ok(data.dimension(dim).unwrap().to_vec())
-        })
-        .unwrap();
+        let tables =
+            DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+                .unwrap();
         let block = block_of(&data, &scan_schema, &cols);
         let mut acc = FxHashMap::default();
         let mut stats = ProbeStats::default();
@@ -361,10 +639,9 @@ mod tests {
             .collect();
         let scan_schema = fact_schema.project(&cols);
         let plan = ProbePlan::compile(&q, &scan_schema).unwrap();
-        let tables = DimTables::build_all(&q.joins, |dim| {
-            Ok(data.dimension(dim).unwrap().to_vec())
-        })
-        .unwrap();
+        let tables =
+            DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+                .unwrap();
         let block = block_of(&data, &scan_schema, &cols);
         let mut acc = FxHashMap::default();
         let mut stats = ProbeStats::default();
@@ -373,7 +650,137 @@ mod tests {
         // Single group (no group-by).
         assert_eq!(acc.len(), 1);
         let expect = clyde_ssb::reference_answer(&data, &q).unwrap();
-        assert_eq!(acc.values().next().copied().unwrap(), expect[0].at(0).as_i64().unwrap());
+        assert_eq!(
+            acc.values().next().copied().unwrap(),
+            expect[0].at(0).as_i64().unwrap()
+        );
+    }
+
+    /// Run the vectorized kernel and rematerialize its packed groups.
+    fn vec_probe(
+        block: &RowBlock,
+        plan: &ProbePlan,
+        tables: &DimTables,
+    ) -> (FxHashMap<Row, i64>, ProbeStats) {
+        let layout = GroupLayout::new(plan, tables).expect("key fits");
+        let mut acc = GroupAcc::new(&layout, &plan.aggregate);
+        let mut buf = SelBuf::default();
+        let mut stats = ProbeStats::default();
+        probe_block_vec(block, plan, tables, &layout, &mut acc, &mut buf, &mut stats).unwrap();
+        // Distinct dimension rows can share aux values (e.g. 365 dates per
+        // d_year), so distinct packed keys may rematerialize to the same
+        // group row — emit-time merging must fold, not overwrite.
+        let mut rows: FxHashMap<Row, i64> = FxHashMap::default();
+        for (k, v) in acc.entries() {
+            let key = layout.rematerialize(k, tables);
+            let slot = rows.entry(key).or_insert_with(|| plan.aggregate.identity());
+            *slot = plan.aggregate.fold(*slot, v);
+        }
+        (rows, stats)
+    }
+
+    #[test]
+    fn vectorized_matches_scalar_exactly() {
+        let (data, _q, scan_schema, cols, plan, tables) = fixture();
+        let block = block_of(&data, &scan_schema, &cols);
+        let mut acc = FxHashMap::default();
+        let mut st_scalar = ProbeStats::default();
+        probe_block(&block, &plan, &tables, &mut acc, &mut st_scalar).unwrap();
+        let (vec_acc, st_vec) = vec_probe(&block, &plan, &tables);
+        assert_eq!(vec_acc, acc);
+        assert_eq!(st_vec, st_scalar, "kernels must count identically");
+    }
+
+    #[test]
+    fn vectorized_handles_fact_predicates_and_dense_acc() {
+        // Q1.1: fact predicates plus no group-by — the packed key space is
+        // a single slot, so the dense accumulator path runs.
+        let data = SsbGen::new(0.005, 46).gen_all();
+        let q = query_by_id("Q1.1").unwrap();
+        let fact_schema = schema::lineorder_schema();
+        let cols: Vec<usize> = q
+            .fact_columns()
+            .iter()
+            .map(|c| fact_schema.index_of(c).unwrap())
+            .collect();
+        let scan_schema = fact_schema.project(&cols);
+        let plan = ProbePlan::compile(&q, &scan_schema).unwrap();
+        let tables =
+            DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+                .unwrap();
+        let layout = GroupLayout::new(&plan, &tables).unwrap();
+        assert_eq!(layout.dense_slots(), Some(1));
+        let block = block_of(&data, &scan_schema, &cols);
+        let mut acc = FxHashMap::default();
+        let mut st_scalar = ProbeStats::default();
+        probe_block(&block, &plan, &tables, &mut acc, &mut st_scalar).unwrap();
+        let (vec_acc, st_vec) = vec_probe(&block, &plan, &tables);
+        assert_eq!(vec_acc, acc);
+        assert_eq!(st_vec, st_scalar);
+        assert!(
+            st_vec.probes < st_vec.rows / 2,
+            "predicates must gate probes"
+        );
+    }
+
+    #[test]
+    fn vectorized_early_out_counts_match_scalar() {
+        // Selective join first (part): the selection vector shrinks after
+        // join 1, so joins 2..n probe fewer keys — and the probe counter
+        // must agree with the scalar early-out to the last probe.
+        let data = SsbGen::new(0.005, 46).gen_all();
+        let mut q = query_by_id("Q2.1").unwrap();
+        q.joins.rotate_left(1);
+        let fact_schema = schema::lineorder_schema();
+        let cols: Vec<usize> = q
+            .fact_columns()
+            .iter()
+            .map(|c| fact_schema.index_of(c).unwrap())
+            .collect();
+        let scan_schema = fact_schema.project(&cols);
+        let plan = ProbePlan::compile(&q, &scan_schema).unwrap();
+        let tables =
+            DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+                .unwrap();
+        let block = block_of(&data, &scan_schema, &cols);
+        let mut acc = FxHashMap::default();
+        let mut st_scalar = ProbeStats::default();
+        probe_block(&block, &plan, &tables, &mut acc, &mut st_scalar).unwrap();
+        let (vec_acc, st_vec) = vec_probe(&block, &plan, &tables);
+        assert_eq!(vec_acc, acc);
+        assert_eq!(st_vec, st_scalar);
+        assert!(st_vec.probes < st_vec.rows * 2);
+    }
+
+    #[test]
+    fn group_acc_merge_folds_partials() {
+        let (data, _q, scan_schema, cols, plan, tables) = fixture();
+        let block = block_of(&data, &scan_schema, &cols);
+        let layout = GroupLayout::new(&plan, &tables).unwrap();
+        // Probe the same block into two accumulators, merge, and compare
+        // against a doubled scalar run.
+        let mut a = GroupAcc::new(&layout, &plan.aggregate);
+        let mut b = GroupAcc::new(&layout, &plan.aggregate);
+        let mut buf = SelBuf::default();
+        let mut st = ProbeStats::default();
+        probe_block_vec(&block, &plan, &tables, &layout, &mut a, &mut buf, &mut st).unwrap();
+        probe_block_vec(&block, &plan, &tables, &layout, &mut b, &mut buf, &mut st).unwrap();
+        a.merge(b, &plan.aggregate);
+
+        let mut scalar = FxHashMap::default();
+        let mut st2 = ProbeStats::default();
+        probe_block(&block, &plan, &tables, &mut scalar, &mut st2).unwrap();
+        probe_block(&block, &plan, &tables, &mut scalar, &mut st2).unwrap();
+        let mut merged: FxHashMap<Row, i64> = FxHashMap::default();
+        for (k, v) in a.entries() {
+            let key = layout.rematerialize(k, &tables);
+            let slot = merged
+                .entry(key)
+                .or_insert_with(|| plan.aggregate.identity());
+            *slot = plan.aggregate.fold(*slot, v);
+        }
+        assert_eq!(merged, scalar);
+        assert_eq!(st, st2);
     }
 
     #[test]

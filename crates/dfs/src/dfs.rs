@@ -62,7 +62,9 @@ pub struct Dfs {
 impl Dfs {
     pub fn new(cluster: ClusterSpec, opts: DfsOptions) -> Arc<Dfs> {
         let replication = cluster.clamp_replication(opts.replication);
-        let datanodes = (0..cluster.num_workers()).map(|_| Datanode::new()).collect();
+        let datanodes = (0..cluster.num_workers())
+            .map(|_| Datanode::new())
+            .collect();
         Arc::new(Dfs {
             metrics: IoMetrics::new(cluster.num_workers()),
             cluster,
@@ -171,9 +173,9 @@ impl Dfs {
     ) -> Result<BlockId> {
         let mut state = self.state.write();
         let n = state.datanodes.len();
-        let mut targets =
-            self.policy
-                .choose_targets(path, group, block_index, self.replication, n);
+        let mut targets = self
+            .policy
+            .choose_targets(path, group, block_index, self.replication, n);
         // Skip dead nodes, substituting the next alive node (deterministic).
         let alive = Self::alive_nodes(&state);
         if alive.is_empty() {
@@ -195,7 +197,9 @@ impl Dfs {
         if fixed.is_empty() {
             fixed.push(alive[0]);
         }
-        let id = state.namenode.allocate_block(data.len() as u64, fixed.clone());
+        let id = state
+            .namenode
+            .allocate_block(data.len() as u64, fixed.clone());
         for node in &fixed {
             state.datanodes[node.0].store(id, data.clone());
             self.metrics.record_write(*node, data.len() as u64);
@@ -669,9 +673,7 @@ mod tests {
                 policy: Box::new(ColocatingPlacement),
             },
         );
-        let files: Vec<String> = (0..4)
-            .map(|i| format!("/fact/rg3/col{i}.col"))
-            .collect();
+        let files: Vec<String> = (0..4).map(|i| format!("/fact/rg3/col{i}.col")).collect();
         for f in &files {
             dfs.write_file(f, Some("/fact/rg3".into()), &[0u8; 100])
                 .unwrap();

@@ -23,7 +23,9 @@ pub struct NodeLocalStore {
 impl NodeLocalStore {
     pub fn new(num_nodes: usize) -> NodeLocalStore {
         NodeLocalStore {
-            nodes: (0..num_nodes).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            nodes: (0..num_nodes)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
             read_bytes: Mutex::new(vec![0; num_nodes]),
         }
     }
@@ -105,7 +107,8 @@ mod tests {
     #[test]
     fn fetch_through_repairs_missing_cache() {
         let dfs = Dfs::for_tests(3);
-        dfs.write_file("/dims/date.bin", None, b"dimension-data").unwrap();
+        dfs.write_file("/dims/date.bin", None, b"dimension-data")
+            .unwrap();
         let ls = NodeLocalStore::new(3);
         ls.broadcast_from_dfs("/dims/date.bin", &dfs).unwrap();
         assert_eq!(ls.used_bytes(NodeId(2)), 14);

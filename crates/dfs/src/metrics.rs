@@ -80,6 +80,10 @@ impl IoSnapshot {
 pub struct ScanStats {
     pub local_bytes: std::sync::atomic::AtomicU64,
     pub remote_bytes: std::sync::atomic::AtomicU64,
+    /// Column chunks whose zone map was consulted during this task's scan.
+    pub zone_checked: std::sync::atomic::AtomicU64,
+    /// Of those, chunks skipped because the zone map ruled them out.
+    pub zone_skipped: std::sync::atomic::AtomicU64,
 }
 
 impl ScanStats {
@@ -107,6 +111,24 @@ impl ScanStats {
 
     pub fn total(&self) -> u64 {
         self.local() + self.remote()
+    }
+
+    pub fn add_zone_checked(&self, n: u64) {
+        self.zone_checked
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn add_zone_skipped(&self, n: u64) {
+        self.zone_skipped
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn zone_checked(&self) -> u64 {
+        self.zone_checked.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub fn zone_skipped(&self) -> u64 {
+        self.zone_skipped.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

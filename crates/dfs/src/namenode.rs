@@ -33,14 +33,7 @@ impl Namenode {
     pub fn allocate_block(&mut self, len: u64, replicas: Vec<NodeId>) -> BlockId {
         let id = BlockId(self.next_block);
         self.next_block += 1;
-        self.blocks.insert(
-            id,
-            BlockMeta {
-                id,
-                len,
-                replicas,
-            },
-        );
+        self.blocks.insert(id, BlockMeta { id, len, replicas });
         id
     }
 

@@ -69,11 +69,7 @@ impl BlockPlacementPolicy for DefaultPlacement {
         replication: u32,
         num_nodes: usize,
     ) -> Vec<NodeId> {
-        ring_targets(
-            hash64(path, block_index as u64),
-            replication,
-            num_nodes,
-        )
+        ring_targets(hash64(path, block_index as u64), replication, num_nodes)
     }
 
     fn name(&self) -> &'static str {
@@ -155,15 +151,7 @@ mod tests {
         // A different row group generally lands elsewhere; with 8 nodes and
         // many groups at least one differs.
         let other: Vec<_> = (0..16)
-            .map(|i| {
-                p.choose_targets(
-                    "/fact/x.col",
-                    Some(&format!("/fact/rg{i}")),
-                    0,
-                    3,
-                    8,
-                )
-            })
+            .map(|i| p.choose_targets("/fact/x.col", Some(&format!("/fact/rg{i}")), 0, 3, 8))
             .collect();
         assert!(other.iter().any(|t| *t != a));
     }

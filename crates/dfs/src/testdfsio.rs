@@ -53,12 +53,7 @@ impl HdfsPerfModel {
     /// Effective HDFS write bandwidth for one node, bytes/s of *logical*
     /// data. Each logical byte is written `replication` times, and
     /// `replication - 1` copies traverse the network pipeline.
-    pub fn effective_write_bw(
-        &self,
-        node: &NodeSpec,
-        replication: u32,
-        network_bw: f64,
-    ) -> f64 {
+    pub fn effective_write_bw(&self, node: &NodeSpec, replication: u32, network_bw: f64) -> f64 {
         let r = f64::from(replication.max(1));
         let disk_limit = node.raw_disk_bw().min(self.node_write_cap) / r;
         let net_limit = if replication > 1 {
@@ -124,7 +119,11 @@ pub fn run(
     dfs.reset_metrics();
     for (node, path) in &paths {
         let hosts = dfs.hosts(path)?;
-        let reader = if hosts.contains(node) { *node } else { hosts[0] };
+        let reader = if hosts.contains(node) {
+            *node
+        } else {
+            hosts[0]
+        };
         let data = dfs.read_file(path, Some(reader))?;
         let expect = make_payload(node.0, 0, 0); // cheap spot-check seed
         let _ = expect;
@@ -134,8 +133,7 @@ pub fn run(
 
     // Price it.
     let read_bw = model.effective_read_bw(&cluster.node);
-    let write_bw =
-        model.effective_write_bw(&cluster.node, dfs.replication(), cluster.network_bw);
+    let write_bw = model.effective_write_bw(&cluster.node, dfs.replication(), cluster.network_bw);
     let report = TestDfsIoReport {
         cluster: cluster.name.clone(),
         files: paths.len(),

@@ -134,16 +134,17 @@ impl Hive {
             } else {
                 Vec::new()
             };
-            let stage_name = format!("hive-{}-{}-join-{}", query.id, self.strategy.label(), join.dimension);
+            let stage_name = format!(
+                "hive-{}-{}-join-{}",
+                query.id,
+                self.strategy.label(),
+                join.dimension
+            );
             let (spec, client) = match self.strategy {
                 JoinStrategy::MapJoin => {
                     let cache_key = format!("{stage_name}.hashtable");
-                    let (client, mem) = build_and_publish(
-                        self.engine.dfs(),
-                        &self.layout,
-                        join,
-                        &cache_key,
-                    )?;
+                    let (client, mem) =
+                        build_and_publish(self.engine.dfs(), &self.layout, join, &cache_key)?;
                     let runner = MapJoinRunner {
                         cache_key,
                         fk_idx: cur_schema.index_of(&join.fk)?,
@@ -159,10 +160,9 @@ impl Hive {
                 }
                 JoinStrategy::Repartition => {
                     // Dimension-side scan: pk + aux + predicate columns.
-                    let dim_schema = ssb_schema::schema_of(&join.dimension)
-                        .ok_or_else(|| {
-                            ClydeError::Plan(format!("unknown dimension {}", join.dimension))
-                        })?;
+                    let dim_schema = ssb_schema::schema_of(&join.dimension).ok_or_else(|| {
+                        ClydeError::Plan(format!("unknown dimension {}", join.dimension))
+                    })?;
                     let mut dim_cols: Vec<String> = vec![join.pk.clone()];
                     for a in &join.aux {
                         if !dim_cols.contains(a) {
@@ -191,10 +191,7 @@ impl Hive {
                         fact_preds,
                         left_schema: cur_schema.clone(),
                     };
-                    let union = TaggedUnionInputFormat::new(
-                        Arc::clone(&cur_input),
-                        dim_input,
-                    );
+                    let union = TaggedUnionInputFormat::new(Arc::clone(&cur_input), dim_input);
                     let mut spec = JobSpec::new(
                         stage_name,
                         Arc::new(union),
@@ -318,6 +315,7 @@ mod tests {
                 cif: false,
                 rcfile: true,
                 text: false,
+                cluster_by_date: true,
             },
         )
         .unwrap();
@@ -365,10 +363,7 @@ mod tests {
             .iter()
             .map(|s| s.profile.shuffle_bytes)
             .sum();
-        let mj_shuffle: u64 = mj.stages[..3]
-            .iter()
-            .map(|s| s.profile.shuffle_bytes)
-            .sum();
+        let mj_shuffle: u64 = mj.stages[..3].iter().map(|s| s.profile.shuffle_bytes).sum();
         assert!(rp_shuffle > 0);
         assert_eq!(mj_shuffle, 0);
     }
@@ -383,7 +378,8 @@ mod tests {
                 let result = hive.query(&q).unwrap();
                 let expect = reference_answer(&data, &q).unwrap();
                 assert_eq!(
-                    result.rows, expect,
+                    result.rows,
+                    expect,
                     "{} mismatch under {}",
                     q.id,
                     strategy.label()

@@ -126,9 +126,10 @@ impl MapRunner for MapJoinRunner {
                 {
                     continue;
                 }
-                let fk = row.at(self.fk_idx).as_i64().ok_or_else(|| {
-                    ClydeError::Plan("non-integer foreign key".into())
-                })?;
+                let fk = row
+                    .at(self.fk_idx)
+                    .as_i64()
+                    .ok_or_else(|| ClydeError::Plan("non-integer foreign key".into()))?;
                 if let Some(aux) = table.get(&fk) {
                     ctx.emit(&Row::empty(), row.concat(aux));
                 }

@@ -39,9 +39,10 @@ impl Mapper for RepartitionMapper {
                 {
                     return Ok(());
                 }
-                let fk = row.at(self.fk_idx).as_i64().ok_or_else(|| {
-                    ClydeError::Plan("non-integer foreign key".into())
-                })?;
+                let fk = row
+                    .at(self.fk_idx)
+                    .as_i64()
+                    .ok_or_else(|| ClydeError::Plan("non-integer foreign key".into()))?;
                 // Value = [tag] ++ full row, so the reducer can separate sides.
                 let mut v = Row::with_capacity(row.len() + 1);
                 v.push(Datum::I32(TAG_LEFT));
@@ -54,9 +55,10 @@ impl Mapper for RepartitionMapper {
                 if !self.dim_pred.eval(&row) {
                     return Ok(());
                 }
-                let pk = row.at(self.pk_idx).as_i64().ok_or_else(|| {
-                    ClydeError::Plan("non-integer dimension key".into())
-                })?;
+                let pk = row
+                    .at(self.pk_idx)
+                    .as_i64()
+                    .ok_or_else(|| ClydeError::Plan("non-integer dimension key".into()))?;
                 let mut v = Row::with_capacity(self.aux_idx.len() + 1);
                 v.push(Datum::I32(TAG_RIGHT));
                 for &i in &self.aux_idx {
@@ -83,9 +85,10 @@ impl Reducer for RepartitionReducer {
         let mut dims: Vec<Row> = Vec::new();
         let mut facts: Vec<Row> = Vec::new();
         for v in values {
-            let tag = v.at(0).as_i32().ok_or_else(|| {
-                ClydeError::MapReduce("reducer value missing source tag".into())
-            })?;
+            let tag = v
+                .at(0)
+                .as_i32()
+                .ok_or_else(|| ClydeError::MapReduce("reducer value missing source tag".into()))?;
             let rest = Row::new(v.values()[1..].to_vec());
             if tag == TAG_RIGHT {
                 dims.push(rest);

@@ -20,7 +20,11 @@ pub struct GroupByMapper {
 
 impl Mapper for GroupByMapper {
     fn map(&self, _key: &Row, value: &Row, ctx: &MapTaskContext<'_>) -> Result<()> {
-        let key: Row = self.group_idx.iter().map(|&i| value.at(i).clone()).collect();
+        let key: Row = self
+            .group_idx
+            .iter()
+            .map(|&i| value.at(i).clone())
+            .collect();
         let measure = aggregate_eval_row(&self.aggregate, value, &self.joined_schema)?;
         ctx.emit(&key, Row::new(vec![Datum::I64(measure)]));
         Ok(())

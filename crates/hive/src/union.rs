@@ -29,10 +29,7 @@ pub struct TaggedUnionInputFormat {
 }
 
 impl TaggedUnionInputFormat {
-    pub fn new(
-        left: Arc<dyn InputFormat>,
-        right: Arc<dyn InputFormat>,
-    ) -> TaggedUnionInputFormat {
+    pub fn new(left: Arc<dyn InputFormat>, right: Arc<dyn InputFormat>) -> TaggedUnionInputFormat {
         TaggedUnionInputFormat {
             left,
             right,
@@ -49,9 +46,7 @@ impl InputFormat for TaggedUnionInputFormat {
         for (i, s) in out.iter_mut().enumerate() {
             s.index = i;
         }
-        if self.left_count.set(left_count).is_err()
-            && self.left_count.get() != Some(&left_count)
-        {
+        if self.left_count.set(left_count).is_err() && self.left_count.get() != Some(&left_count) {
             return Err(ClydeError::MapReduce(
                 "union input format reused across jobs with different inputs".into(),
             ));

@@ -56,6 +56,10 @@ pub struct TaskCost {
     pub output_bytes: u64,
     /// Threads this task used (Clydesdale's MTMapRunner uses all slots).
     pub threads: u32,
+    /// Column chunks whose zone map was consulted before reading.
+    pub zone_checked: u64,
+    /// Of those, chunks skipped outright (no fetch, no decode).
+    pub zone_skipped: u64,
 }
 
 impl TaskCost {
@@ -82,6 +86,8 @@ impl TaskCost {
             state_load_bytes: self.state_load_bytes + other.state_load_bytes,
             output_bytes: self.output_bytes + other.output_bytes,
             threads: self.threads.max(other.threads),
+            zone_checked: self.zone_checked + other.zone_checked,
+            zone_skipped: self.zone_skipped + other.zone_skipped,
         }
     }
 
@@ -103,6 +109,8 @@ impl TaskCost {
             state_load_bytes: s(self.state_load_bytes, dim_f),
             output_bytes: s(self.output_bytes, fact_f),
             threads: self.threads,
+            zone_checked: s(self.zone_checked, fact_f),
+            zone_skipped: s(self.zone_skipped, fact_f),
         }
     }
 
@@ -123,6 +131,8 @@ impl TaskCost {
             state_load_bytes: self.state_load_bytes / n,
             output_bytes: self.output_bytes / n,
             threads: self.threads,
+            zone_checked: self.zone_checked / n,
+            zone_skipped: self.zone_skipped / n,
         }
     }
 }
@@ -265,18 +275,21 @@ impl JobCost {
 
 /// Makespan of a set of tasks with per-node slot concurrency: each node
 /// finishes at `sum(task durations)/concurrency` (its slots drain the queue
-/// in waves), and the phase ends when the slowest node does.
-pub fn makespan(
-    durations: &[(NodeId, f64)],
-    num_nodes: usize,
-    concurrency: u32,
-) -> f64 {
+/// in waves) — but never before its longest single task, which bounds the
+/// phase when a node holds fewer tasks than slots. The phase ends when the
+/// slowest node does.
+pub fn makespan(durations: &[(NodeId, f64)], num_nodes: usize, concurrency: u32) -> f64 {
     let mut per_node = vec![0.0f64; num_nodes];
+    let mut longest = vec![0.0f64; num_nodes];
     for &(node, d) in durations {
         per_node[node.0] += d;
+        longest[node.0] = longest[node.0].max(d);
     }
     let c = f64::from(concurrency.max(1));
-    per_node.iter().fold(0.0f64, |acc, t| acc.max(t / c))
+    per_node
+        .iter()
+        .zip(&longest)
+        .fold(0.0f64, |acc, (t, &l)| acc.max((t / c).max(l)))
 }
 
 /// Network + disk time to move `shuffle_bytes` from mappers to reducers.
@@ -286,8 +299,7 @@ pub fn shuffle_time(params: &CostParams, cluster: &ClusterSpec, shuffle_bytes: u
     }
     let n = cluster.num_workers() as f64;
     let net = shuffle_bytes as f64 / (n * cluster.network_bw);
-    let disk = params.shuffle_disk_passes * shuffle_bytes as f64
-        / (n * cluster.node.raw_disk_bw());
+    let disk = params.shuffle_disk_passes * shuffle_bytes as f64 / (n * cluster.node.raw_disk_bw());
     net + disk
 }
 
@@ -371,11 +383,7 @@ mod tests {
 
     #[test]
     fn makespan_takes_slowest_node() {
-        let ds = vec![
-            (NodeId(0), 10.0),
-            (NodeId(0), 10.0),
-            (NodeId(1), 5.0),
-        ];
+        let ds = vec![(NodeId(0), 10.0), (NodeId(0), 10.0), (NodeId(1), 5.0)];
         assert!((makespan(&ds, 2, 1) - 20.0).abs() < 1e-9);
         assert!((makespan(&ds, 2, 2) - 10.0).abs() < 1e-9);
         assert_eq!(makespan(&[], 2, 1), 0.0);

@@ -77,7 +77,10 @@ mod tests {
     fn publish_fetch_roundtrip() {
         let c = DistCache::new();
         c.publish("ht", Bytes::from_static(b"table"));
-        assert_eq!(c.fetch(NodeId(0), "ht").unwrap(), Bytes::from_static(b"table"));
+        assert_eq!(
+            c.fetch(NodeId(0), "ht").unwrap(),
+            Bytes::from_static(b"table")
+        );
         assert!(c.fetch(NodeId(0), "missing").is_err());
         assert_eq!(c.len(), 1);
     }

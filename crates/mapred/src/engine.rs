@@ -103,6 +103,8 @@ impl MapTaskEnv<'_> {
         let mut task_cost = *cost.lock();
         task_cost.local_bytes += io.stats.local();
         task_cost.remote_bytes += io.stats.remote();
+        task_cost.zone_checked += io.stats.zone_checked();
+        task_cost.zone_skipped += io.stats.zone_skipped();
 
         let mut records = Arc::try_unwrap(out)
             .map_err(|_| ClydeError::MapReduce("collector leaked out of the map task".into()))?
@@ -151,12 +153,7 @@ impl MapTaskEnv<'_> {
     fn retry_node(&self, task_idx: usize, failed: NodeId, attempt: u32) -> NodeId {
         let n = self.memories.len();
         let split = &self.splits[task_idx];
-        let mut candidates: Vec<NodeId> = split
-            .hosts
-            .iter()
-            .copied()
-            .filter(|h| h.0 < n)
-            .collect();
+        let mut candidates: Vec<NodeId> = split.hosts.iter().copied().filter(|h| h.0 < n).collect();
         for i in 0..n {
             let node = NodeId(i);
             if !candidates.contains(&node) {
@@ -223,8 +220,7 @@ impl Engine {
         let assignment = scheduler::assign_map_tasks(&splits, &cluster);
         let threads = spec.task_threads.unwrap_or(1).max(1);
 
-        let node_states: Vec<Arc<NodeState>> =
-            (0..n).map(|_| Arc::new(NodeState::new())).collect();
+        let node_states: Vec<Arc<NodeState>> = (0..n).map(|_| Arc::new(NodeState::new())).collect();
         let memories: Vec<Arc<MemoryTracker>> = (0..n)
             .map(|_| Arc::new(MemoryTracker::new(cluster.node.memory_bytes)))
             .collect();
@@ -358,11 +354,10 @@ impl Engine {
             let reducer = spec.reducer.as_ref().expect("reduce path requires reducer");
             let num_reducers = spec.num_reducers.max(1);
             // Partition every task's sorted output.
-            let mut runs: Vec<Vec<Vec<(Vec<u8>, Row)>>> =
-                (0..num_reducers).map(|_| Vec::new()).collect();
+            type SortedRun = Vec<(Vec<u8>, Row)>;
+            let mut runs: Vec<Vec<SortedRun>> = (0..num_reducers).map(|_| Vec::new()).collect();
             for t in &mut task_outputs {
-                let mut per_part: Vec<Vec<(Vec<u8>, Row)>> =
-                    (0..num_reducers).map(|_| Vec::new()).collect();
+                let mut per_part: Vec<SortedRun> = (0..num_reducers).map(|_| Vec::new()).collect();
                 for (k, v) in std::mem::take(&mut t.records) {
                     let p = shuffle::partition_of(&k, num_reducers);
                     shuffle_bytes += (k.len() + v.heap_size()) as u64;
@@ -442,17 +437,19 @@ mod tests {
             self.inner.splits(dfs, conf)
         }
 
-        fn open(
-            &self,
-            split: &InputSplit,
-            part: usize,
-            io: &TaskIo,
-        ) -> Result<Reader> {
-            if split.index == 0 && self.failures.fetch_update(
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-                |v| if v > 0 { Some(v - 1) } else { None },
-            ).is_ok() {
+        fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
+            if split.index == 0
+                && self
+                    .failures
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                        if v > 0 {
+                            Some(v - 1)
+                        } else {
+                            None
+                        }
+                    })
+                    .is_ok()
+            {
                 return Err(ClydeError::MapReduce("injected split-0 failure".into()));
             }
             self.inner.open(split, part, io)

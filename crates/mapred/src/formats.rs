@@ -52,7 +52,9 @@ impl InputFormat for RowBinInputFormat {
 
     fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
         if part != 0 {
-            return Err(ClydeError::MapReduce("row-binary splits have one part".into()));
+            return Err(ClydeError::MapReduce(
+                "row-binary splits have one part".into(),
+            ));
         }
         let SplitSpec::FileRange { path, .. } = &split.spec else {
             return Err(ClydeError::MapReduce("unexpected split spec".into()));
@@ -196,7 +198,10 @@ mod tests {
         let result = engine.run_job(&spec).unwrap();
         let mut rows = result.rows;
         rows.sort();
-        assert_eq!(rows, vec![row!["fox", 2i64], row!["quick", 1i64], row!["the", 3i64]]);
+        assert_eq!(
+            rows,
+            vec![row!["fox", 2i64], row!["quick", 1i64], row!["the", 3i64]]
+        );
         assert_eq!(result.profile.map_tasks.len(), 3);
         assert_eq!(result.profile.reduce_tasks.len(), 2);
         assert!(result.cost.total_s() > 0.0);

@@ -20,11 +20,7 @@ use clyde_dfs::{Dfs, NodeId};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SplitSpec {
     /// A byte range of one file (text, row-binary, and similar formats).
-    FileRange {
-        path: String,
-        offset: u64,
-        len: u64,
-    },
+    FileRange { path: String, offset: u64, len: u64 },
     /// One or more row groups of a group-structured table (CIF, RCFile).
     /// More than one group makes this a *multi-split* — the MultiCIF
     /// mechanism from paper Section 5.1 that lets each thread of a

@@ -119,8 +119,7 @@ impl JobProfile {
     /// mapjoin failure mode (Section 6.4).
     pub fn price(&self, params: &CostParams, cluster: &ClusterSpec) -> Result<JobCost> {
         let concurrency = self.map_concurrency.max(1);
-        let raw =
-            self.memory_per_slot.saturating_mul(u64::from(concurrency)) + self.memory_shared;
+        let raw = self.memory_per_slot.saturating_mul(u64::from(concurrency)) + self.memory_shared;
         // Java-era in-memory expansion (see CostParams::memory_expansion).
         let required = (raw as f64 * params.memory_expansion) as u64;
         if required > cluster.node.memory_bytes {

@@ -41,7 +41,9 @@ pub use cost::{CostParams, JobCost, TaskCost};
 pub use distcache::DistCache;
 pub use engine::Engine;
 pub use input::{BlockReader, InputFormat, InputSplit, Reader, RecordReader, SplitSpec};
-pub use job::{Extrapolation, JobProfile, JobResult, JobSpec, MapTaskScaling, OutputSpec, TaskProfile};
+pub use job::{
+    Extrapolation, JobProfile, JobResult, JobSpec, MapTaskScaling, OutputSpec, TaskProfile,
+};
 pub use runner::{FnMapRunner, MapRunner, RowMapRunner};
 pub use shuffle::Reducer;
 pub use task::{Collector, MapTaskContext, NodeState, TaskIo};

@@ -128,8 +128,9 @@ mod tests {
     #[test]
     fn assignment_is_deterministic() {
         let cluster = ClusterSpec::tiny(5);
-        let splits: Vec<InputSplit> =
-            (0..20).map(|i| split(i, vec![i % 5, (i + 1) % 5], 50 + i as u64)).collect();
+        let splits: Vec<InputSplit> = (0..20)
+            .map(|i| split(i, vec![i % 5, (i + 1) % 5], 50 + i as u64))
+            .collect();
         assert_eq!(
             assign_map_tasks(&splits, &cluster),
             assign_map_tasks(&splits, &cluster)

@@ -188,7 +188,10 @@ mod tests {
         let mut out = Vec::new();
         let groups = reduce_sorted(&records, &SumReducer, &mut out).unwrap();
         assert_eq!(groups, 3);
-        assert_eq!(out, vec![row![1i64, 3i64], row![2i64, 30i64], row![3i64, 5i64]]);
+        assert_eq!(
+            out,
+            vec![row![1i64, 3i64], row![2i64, 30i64], row![3i64, 5i64]]
+        );
     }
 
     #[test]

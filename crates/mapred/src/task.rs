@@ -78,16 +78,19 @@ impl NodeState {
     {
         let mut entries = self.entries.lock();
         if let Some(existing) = entries.get(key) {
-            let typed = Arc::clone(existing)
-                .downcast::<T>()
-                .map_err(|_| ClydeError::MapReduce(format!("node state type mismatch for {key}")))?;
+            let typed = Arc::clone(existing).downcast::<T>().map_err(|_| {
+                ClydeError::MapReduce(format!("node state type mismatch for {key}"))
+            })?;
             return Ok((typed, false));
         }
         // Build while holding the lock: tasks on one node run one at a time,
         // and even under the multi-threaded runner only the runner's control
         // thread builds (Section 4.2: the build phase is single-threaded).
         let value = Arc::new(init()?);
-        entries.insert(key.to_string(), Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+        entries.insert(
+            key.to_string(),
+            Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
+        );
         Ok((value, true))
     }
 
@@ -307,14 +310,17 @@ mod tests {
         let st = NodeState::new();
         let r = st.get_or_try_init::<u32, _>("k", || Err(ClydeError::Plan("boom".into())));
         assert!(r.is_err());
-        let (_, built) = st.get_or_try_init("k", || Ok::<_, ClydeError>(9u32)).unwrap();
+        let (_, built) = st
+            .get_or_try_init("k", || Ok::<_, ClydeError>(9u32))
+            .unwrap();
         assert!(built);
     }
 
     #[test]
     fn node_state_type_mismatch_is_an_error() {
         let st = NodeState::new();
-        st.get_or_try_init("k", || Ok::<_, ClydeError>(1u32)).unwrap();
+        st.get_or_try_init("k", || Ok::<_, ClydeError>(1u32))
+            .unwrap();
         let r = st.get_or_try_init::<String, _>("k", || Ok("x".to_string()));
         assert!(r.is_err());
     }

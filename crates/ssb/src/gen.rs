@@ -27,13 +27,30 @@ const COLORS: [&str; 12] = [
     "ivory", "plum",
 ];
 const TYPES: [&str; 6] = [
-    "STANDARD ANODIZED", "SMALL PLATED", "MEDIUM POLISHED", "LARGE BRUSHED", "ECONOMY BURNISHED",
+    "STANDARD ANODIZED",
+    "SMALL PLATED",
+    "MEDIUM POLISHED",
+    "LARGE BRUSHED",
+    "ECONOMY BURNISHED",
     "PROMO ANODIZED",
 ];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Gregorian calendar helpers for the SSB date range.
 pub mod calendar {
@@ -181,7 +198,7 @@ impl SsbGen {
         let mut rng = self.rng_for(schema::CUSTOMER);
         (1..=self.num_customers() as i32)
             .map(|key| {
-                let (nation, region_idx) = schema::NATIONS[rng.gen_range(0..25)];
+                let (nation, region_idx) = schema::NATIONS[rng.gen_range(0..25usize)];
                 let city = schema::city_name(nation, rng.gen_range(0..10));
                 row![
                     key,
@@ -202,7 +219,7 @@ impl SsbGen {
         let mut rng = self.rng_for(schema::SUPPLIER);
         (1..=self.num_suppliers() as i32)
             .map(|key| {
-                let (nation, region_idx) = schema::NATIONS[rng.gen_range(0..25)];
+                let (nation, region_idx) = schema::NATIONS[rng.gen_range(0..25usize)];
                 let city = schema::city_name(nation, rng.gen_range(0..10));
                 row![
                     key,
@@ -248,19 +265,14 @@ impl SsbGen {
     ///
     /// Rows come in orders of 1–7 lines sharing order key, customer, date,
     /// and priority, exactly like `dbgen`'s order structure.
-    pub fn for_each_lineorder(
-        &self,
-        mut f: impl FnMut(&Row) -> Result<()>,
-    ) -> Result<()> {
+    pub fn for_each_lineorder(&self, mut f: impl FnMut(&Row) -> Result<()>) -> Result<()> {
         let mut rng = self.rng_for(schema::LINEORDER);
         let customers = self.num_customers() as i32;
         let suppliers = self.num_suppliers() as i32;
         let parts = self.num_parts() as i32;
         let target = self.num_lineorders();
-        let priorities: Vec<Arc<str>> =
-            schema::PRIORITIES.iter().map(|s| Arc::from(*s)).collect();
-        let modes: Vec<Arc<str>> =
-            schema::SHIP_MODES.iter().map(|s| Arc::from(*s)).collect();
+        let priorities: Vec<Arc<str>> = schema::PRIORITIES.iter().map(|s| Arc::from(*s)).collect();
+        let modes: Vec<Arc<str>> = schema::SHIP_MODES.iter().map(|s| Arc::from(*s)).collect();
 
         let mut produced = 0usize;
         let mut orderkey = 0i32;

@@ -74,12 +74,32 @@ impl CompiledFactPred {
 pub enum DimPred {
     /// Always true (dimension joined only for its auxiliary columns).
     True,
-    StrEq { column: String, value: String },
-    StrIn { column: String, values: Vec<String> },
-    StrBetween { column: String, lo: String, hi: String },
-    I32Eq { column: String, value: i32 },
-    I32Between { column: String, lo: i32, hi: i32 },
-    I32In { column: String, values: Vec<i32> },
+    StrEq {
+        column: String,
+        value: String,
+    },
+    StrIn {
+        column: String,
+        values: Vec<String>,
+    },
+    StrBetween {
+        column: String,
+        lo: String,
+        hi: String,
+    },
+    I32Eq {
+        column: String,
+        value: i32,
+    },
+    I32Between {
+        column: String,
+        lo: i32,
+        hi: i32,
+    },
+    I32In {
+        column: String,
+        values: Vec<i32>,
+    },
     And(Vec<DimPred>),
 }
 
@@ -166,9 +186,7 @@ impl CompiledDimPred {
     pub fn eval(&self, row: &Row) -> bool {
         match self {
             CompiledDimPred::True => true,
-            CompiledDimPred::StrEq { col, value } => {
-                row.at(*col).as_str() == Some(value.as_ref())
-            }
+            CompiledDimPred::StrEq { col, value } => row.at(*col).as_str() == Some(value.as_ref()),
             CompiledDimPred::StrIn { col, values } => match row.at(*col).as_str() {
                 Some(s) => values.iter().any(|v| v.as_ref() == s),
                 None => false,
@@ -568,11 +586,7 @@ pub fn all_queries() -> Vec<StarQuery> {
         ],
         limit: None,
     };
-    out.push(flight2(
-        "Q2.1",
-        str_eq("p_category", "MFGR#12"),
-        "AMERICA",
-    ));
+    out.push(flight2("Q2.1", str_eq("p_category", "MFGR#12"), "AMERICA"));
     out.push(flight2(
         "Q2.2",
         DimPred::StrBetween {
@@ -774,8 +788,8 @@ mod tests {
         assert_eq!(
             ids,
             vec![
-                "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2", "Q3.3",
-                "Q3.4", "Q4.1", "Q4.2", "Q4.3"
+                "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+                "Q4.1", "Q4.2", "Q4.3"
             ]
         );
         // Flight membership by join fan-out, as in the paper's description.
@@ -864,9 +878,7 @@ mod tests {
         }
         .compile(&s)
         .unwrap();
-        let mk = |brand: &str| {
-            row![1i32, "n", "MFGR#2", "MFGR#22", brand, "c", "t", 1i32, "box"]
-        };
+        let mk = |brand: &str| row![1i32, "n", "MFGR#2", "MFGR#22", brand, "c", "t", 1i32, "box"];
         assert!(between.eval(&mk("MFGR#2221")));
         assert!(between.eval(&mk("MFGR#2225")));
         assert!(between.eval(&mk("MFGR#2228")));

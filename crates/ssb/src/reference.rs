@@ -209,6 +209,8 @@ mod tests {
         }
         // Only nations of AMERICA appear.
         let america = ["ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"];
-        assert!(rows.iter().all(|r| america.contains(&r.at(1).as_str().unwrap())));
+        assert!(rows
+            .iter()
+            .all(|r| america.contains(&r.at(1).as_str().unwrap())));
     }
 }

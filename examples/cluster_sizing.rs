@@ -55,7 +55,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workers", "simulated time", "vs previous", "parallel efficiency"],
+            &[
+                "workers",
+                "simulated time",
+                "vs previous",
+                "parallel efficiency"
+            ],
             &rows,
         )
     );

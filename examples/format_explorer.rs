@@ -31,7 +31,10 @@ fn main() {
     );
     let layout = SsbLayout::default();
     let gen = SsbGen::new(0.02, 46);
-    println!("loading lineorder ({} rows) in CIF, RCFile, and text...", gen.num_lineorders());
+    println!(
+        "loading lineorder ({} rows) in CIF, RCFile, and text...",
+        gen.num_lineorders()
+    );
     let ds = loader::load(
         &dfs,
         gen,
@@ -41,6 +44,7 @@ fn main() {
             cif: true,
             rcfile: true,
             text: true,
+            cluster_by_date: true,
         },
     )
     .expect("load failed");
@@ -49,9 +53,7 @@ fn main() {
     println!("  text    {}", mb(ds.fact_bytes_text));
     println!("  rcfile  {}", mb(ds.fact_bytes_rc));
     println!("  cif     {}", mb(ds.fact_bytes_cif));
-    println!(
-        "  (paper at SF1000: 600 GB text vs ~558 GB RCFile vs 334 GB Multi-CIF)"
-    );
+    println!("  (paper at SF1000: 600 GB text vs ~558 GB RCFile vs 334 GB Multi-CIF)");
 
     // A Q2.1-style projection: 4 of 17 columns.
     let cols = ["lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"];

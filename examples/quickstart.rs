@@ -53,12 +53,7 @@ fn main() {
     println!("\nQ2.1: revenue by (year, brand), category MFGR#12, suppliers in AMERICA\n");
     println!("{:>6}  {:<10}  {:>14}", "year", "brand", "revenue");
     for row in result.rows.iter().take(15) {
-        println!(
-            "{:>6}  {:<10}  {:>14}",
-            row.at(0),
-            row.at(1),
-            row.at(2)
-        );
+        println!("{:>6}  {:<10}  {:>14}", row.at(0), row.at(1), row.at(2));
     }
     if result.rows.len() > 15 {
         println!("... and {} more groups", result.rows.len() - 15);

@@ -37,6 +37,7 @@ fn main() {
             cif: true,
             rcfile: false,
             text: false,
+            cluster_by_date: true,
         },
     )
     .expect("initial load");

@@ -1,0 +1,226 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Same macro/builder surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `Throughput`, `BenchmarkId`,
+//! `b.iter`), but measurement is a simple calibrated wall-clock loop:
+//! warm up briefly, pick an iteration count targeting ~0.3 s, run three
+//! samples, and report the best per-iteration time (plus throughput when
+//! declared). No statistics, plots, or baselines.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier, printed as `function/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+pub trait IntoBenchName {
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times
+/// the routine.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate: time a single iteration, then target ~0.3 s per sample.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+        _marker: std::marker::PhantomData,
+    };
+    f(&mut probe);
+    let once = probe.elapsed.as_secs_f64().max(1e-9);
+    let iters = ((0.3 / once) as u64).clamp(1, 1_000_000);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        best = best.min(b.elapsed.as_secs_f64() / iters as f64);
+    }
+
+    let mut line = format!("{name:<50} {:>12}/iter", format_time(best));
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  {:>14.0} elem/s", n as f64 / best));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(
+                "  {:>11.1} MiB/s",
+                n as f64 / best / (1 << 20) as f64
+            ));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function(BenchmarkId::new("sum", "10"), |b| {
+            b.iter(|| (0..10u64).sum::<u64>())
+        });
+        g.finish();
+    }
+}

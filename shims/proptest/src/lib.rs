@@ -1,0 +1,530 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro (both
+//! `arg in strategy` and `arg: Type` forms), `any::<T>()`, integer-range and
+//! simple `[class]{lo,hi}` regex string strategies, tuples, `Just`,
+//! `prop_oneof!`, `prop_map`, `proptest::collection::vec`, and the
+//! `prop_assert*` macros. Cases are generated from a fixed seed so runs are
+//! deterministic; failing cases panic with the generated inputs printed.
+//! There is no shrinking and no persistence — a failure reports the raw
+//! counterexample.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Object-safe: `gen_value` is the only required method, so
+    /// `Box<dyn Strategy<Value = V>>` works for `prop_oneof!`.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (**self).gen_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// `"[class]{lo,hi}"` string strategies: a single character class with a
+    /// repetition count, which is the only regex shape this workspace uses.
+    /// Supports literal chars, `a-z` ranges, `\xNN` escapes, and `\PC`
+    /// (printable — here: printable ASCII). A pattern without a trailing
+    /// `{lo,hi}` yields exactly one class character.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_class_pattern(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let bytes: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        assert!(
+            bytes.first() == Some(&'['),
+            "unsupported regex strategy {pat:?}: expected `[class]{{lo,hi}}`"
+        );
+        i += 1;
+        let mut chars = Vec::new();
+        while i < bytes.len() && bytes[i] != ']' {
+            let c = bytes[i];
+            if c == '\\' {
+                i += 1;
+                match bytes.get(i) {
+                    Some('x') => {
+                        let hex: String = bytes[i + 1..i + 3].iter().collect();
+                        let v = u8::from_str_radix(&hex, 16)
+                            .unwrap_or_else(|_| panic!("bad \\x escape in {pat:?}"));
+                        chars.push(v as char);
+                        i += 3;
+                    }
+                    Some('P') => {
+                        // `\PC`: not-a-control-character. Printable ASCII is a
+                        // representative (and deterministic) subset.
+                        assert!(
+                            bytes.get(i + 1) == Some(&'C'),
+                            "unsupported escape in {pat:?}"
+                        );
+                        chars.extend((0x20u8..0x7f).map(|b| b as char));
+                        i += 2;
+                    }
+                    Some(&e) => {
+                        chars.push(e);
+                        i += 1;
+                    }
+                    None => panic!("dangling backslash in {pat:?}"),
+                }
+            } else if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] != ']' {
+                let (a, b) = (c, bytes[i + 2]);
+                assert!(a <= b, "bad class range in {pat:?}");
+                chars.extend((a as u32..=b as u32).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(c);
+                i += 1;
+            }
+        }
+        assert!(bytes.get(i) == Some(&']'), "unterminated class in {pat:?}");
+        assert!(!chars.is_empty(), "empty character class in {pat:?}");
+        i += 1;
+        if i == bytes.len() {
+            return (chars, 1, 1);
+        }
+        assert!(bytes[i] == '{', "unsupported suffix in {pat:?}");
+        let rest: String = bytes[i + 1..].iter().collect();
+        let body = rest.strip_suffix('}').expect("unterminated {} in pattern");
+        let (lo, hi) = match body.split_once(',') {
+            Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+            None => {
+                let n: usize = body.trim().parse().unwrap();
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "bad repetition in {pat:?}");
+        (chars, lo, hi)
+    }
+
+    /// Types with a canonical [`any`] strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mix finite values of many magnitudes with the edge cases the
+            // real crate's `any::<f64>()` also produces.
+            match rng.below(16) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                _ => {
+                    let mantissa = rng.next_u64() as i64 as f64;
+                    let exp = rng.below(61) as i32 - 30;
+                    mantissa * (2f64).powi(exp)
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    /// Strategy for [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Vector of values from `element`, with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+
+    /// Deterministic SplitMix64 stream used for all case generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128).wrapping_mul(n as u128);
+                if (m as u64) >= n.wrapping_neg() % n {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                // Fixed seed: deterministic across runs, like persisted
+                // proptest regressions but without the file.
+                rng: TestRng::new(0xC1DE_5DA1E),
+            }
+        }
+
+        /// Run `body` against `config.cases` generated values. Panics (with
+        /// the case number) on the first failing case; no shrinking.
+        pub fn run_cases<S: Strategy, F: FnMut(S::Value)>(&mut self, strategy: &S, mut body: F) {
+            for case in 0..self.config.cases {
+                let value = strategy.gen_value(&mut self.rng);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    body(value);
+                }));
+                if let Err(payload) = result {
+                    eprintln!("proptest: failing case {case} of {}", self.config.cases);
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `proptest!` — supports an optional `#![proptest_config(...)]` header and
+/// any number of test functions using either `arg in strategy` or
+/// `arg: Type` parameters. Attributes (including `#[test]` and doc comments)
+/// are passed through untouched, matching the real macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let strategy = ($($strat,)+);
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_cases(&strategy, |($($arg,)+)| $body);
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let strategy = ($($crate::strategy::any::<$ty>(),)+);
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_cases(&strategy, |($($arg,)+)| $body);
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Both arg forms, tuples, maps, and class patterns in one place.
+        #[test]
+        fn surface_works(
+            x in 0i64..6,
+            s in "[a-z]{0,6}",
+            pair in (any::<i32>(), 1u32..16).prop_map(|(a, b)| (a, b)),
+            v in crate::collection::vec(any::<u8>(), 0..10),
+        ) {
+            prop_assert!((0..6).contains(&x));
+            prop_assert!(s.len() <= 6 && s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(pair.1 >= 1 && pair.1 < 16);
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn typed_args(v: u64, w: i16) {
+            prop_assert_eq!(v, v);
+            prop_assert_ne!(w as i64 - 1, w as i64);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_just(d in prop_oneof![Just(-1i64), 0i64..6, Just(99i64)]) {
+            prop_assert!(d == -1 || d == 99 || (0..6).contains(&d));
+        }
+    }
+
+    #[test]
+    fn class_patterns_parse() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9#\\x00 ]{0,12}".gen_value(&mut rng);
+            assert!(s.chars().count() <= 12);
+            let p = "[\\PC]{0,16}".gen_value(&mut rng);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+}

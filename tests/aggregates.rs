@@ -54,6 +54,7 @@ fn count_min_max_agree_across_all_engines() {
             cif: true,
             rcfile: true,
             text: false,
+            cluster_by_date: true,
         },
     )
     .unwrap();
@@ -140,6 +141,7 @@ fn min_max_over_filtered_dimension() {
             cif: true,
             rcfile: false,
             text: false,
+            cluster_by_date: true,
         },
     )
     .unwrap();

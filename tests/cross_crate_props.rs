@@ -14,8 +14,7 @@ use std::sync::Arc;
 
 fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
     proptest::collection::vec(
-        (any::<i32>(), "[a-z]{0,6}", any::<i64>())
-            .prop_map(|(a, b, c)| row![a, b, c]),
+        (any::<i32>(), "[a-z]{0,6}", any::<i64>()).prop_map(|(a, b, c)| row![a, b, c]),
         0..80,
     )
 }

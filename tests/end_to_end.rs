@@ -32,6 +32,7 @@ fn load(dfs: &Arc<Dfs>, sf: f64) -> (SsbLayout, SsbGen) {
             cif: true,
             rcfile: true,
             text: false,
+            cluster_by_date: true,
         },
     )
     .unwrap();
@@ -130,7 +131,10 @@ fn execution_profile_matches_the_papers_design() {
     let q = query_by_id("Q3.1").unwrap();
     let r = clyde.query(&q).unwrap();
 
-    assert!(r.profile.map_tasks.len() <= 4, "more than one task per node");
+    assert!(
+        r.profile.map_tasks.len() <= 4,
+        "more than one task per node"
+    );
     assert_eq!(r.profile.map_concurrency, 1, "capacity scheduling violated");
     assert_eq!(r.locality, 1.0, "scan was not fully local");
     for t in &r.profile.map_tasks {

@@ -16,9 +16,7 @@
 //! * Q2.1 on cluster A lands near the paper's 215 s with a build phase near
 //!   27 s.
 
-use clyde_bench::harness::{
-    measure, Ablation, Extrapolator, MeasureWhat, MeasurementConfig,
-};
+use clyde_bench::harness::{measure, Ablation, Extrapolator, MeasureWhat, MeasurementConfig};
 use clyde_bench::paper;
 use clyde_dfs::ClusterSpec;
 use clyde_hive::JoinStrategy;
@@ -70,13 +68,11 @@ fn clydesdale_wins_everywhere_and_more_on_cluster_a() {
     let (avg_a, avg_b) = (avg(&a_speedups), avg(&b_speedups));
     // Paper: 38x on A, 11.1x on B. Accept a factor-of-two band.
     assert!(
-        (paper::cluster_a::SPEEDUP_AVG / 2.0..paper::cluster_a::SPEEDUP_AVG * 2.0)
-            .contains(&avg_a),
+        (paper::cluster_a::SPEEDUP_AVG / 2.0..paper::cluster_a::SPEEDUP_AVG * 2.0).contains(&avg_a),
         "cluster A average speedup {avg_a:.1} out of band"
     );
     assert!(
-        (paper::cluster_b::SPEEDUP_AVG / 2.0..paper::cluster_b::SPEEDUP_AVG * 2.0)
-            .contains(&avg_b),
+        (paper::cluster_b::SPEEDUP_AVG / 2.0..paper::cluster_b::SPEEDUP_AVG * 2.0).contains(&avg_b),
         "cluster B average speedup {avg_b:.1} out of band"
     );
     assert!(avg_a > avg_b, "speedup must shrink on the bigger cluster");
@@ -121,15 +117,18 @@ fn q21_breakdown_lands_near_the_paper() {
     // Build phase ≈ 27 s (one single-threaded pass over 4.0 M dim rows).
     let e = ex.extrapolate_one_per_node(&qm.query, &qm.clyde);
     let build = e.map_tasks[0].cost.build_rows as f64 / ex.params.build_rows_per_s;
-    assert!((15.0..40.0).contains(&build), "build {build:.1}s vs paper 27s");
+    assert!(
+        (15.0..40.0).contains(&build),
+        "build {build:.1}s vs paper 27s"
+    );
 }
 
 #[test]
 fn ablation_ordering_matches_figure_9() {
     let m = measurements();
     let ex = Extrapolator::new(ClusterSpec::cluster_a(), 1000.0, m);
-    let mut per_flight = vec![[0.0f64; 3]; 5];
-    let mut counts = vec![0usize; 5];
+    let mut per_flight = [[0.0f64; 3]; 5];
+    let mut counts = [0usize; 5];
     for qm in &m.queries {
         let base = ex.clyde_time(qm).unwrap();
         let flight = paper::flight_of(&qm.query.id);
@@ -187,6 +186,7 @@ fn storage_sizes_have_the_papers_ordering() {
             cif: true,
             rcfile: true,
             text: true,
+            cluster_by_date: true,
         },
     )
     .unwrap();

@@ -36,6 +36,7 @@ fn load_with(policy: Box<dyn clyde_dfs::BlockPlacementPolicy>) -> (Arc<Dfs>, Ssb
             cif: true,
             rcfile: false,
             text: false,
+            cluster_by_date: true,
         },
     )
     .unwrap();
@@ -58,7 +59,10 @@ fn colocation_delivers_fully_local_scans_and_default_placement_does_not() {
     let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
     clyde.warm_dimension_cache().unwrap();
     let colocated = clyde.query(&q).unwrap();
-    assert_eq!(colocated.locality, 1.0, "co-located scan must be fully local");
+    assert_eq!(
+        colocated.locality, 1.0,
+        "co-located scan must be fully local"
+    );
     let expect = reference_answer(&gen.gen_all(), &q).unwrap();
     assert_eq!(colocated.rows, expect);
 

@@ -1,0 +1,114 @@
+//! Property test: the three probe kernels are interchangeable.
+//!
+//! For any SSB query, any generator seed, and any block-size partitioning
+//! of the fact table, the vectorized kernel ([`probe_block_vec`]), the
+//! scalar block kernel ([`probe_block`]) and the row-at-a-time fallback
+//! ([`probe_row`]) must produce identical group aggregates, identical
+//! [`ProbeStats`] (rows, probes **and survivors** — early-out must shrink
+//! the selection vector exactly as the scalar loop skips), and all must
+//! agree with the trusted single-process reference executor.
+
+use clyde_common::{FxHashMap, Row, RowBlock, RowBlockBuilder, Schema};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::{all_queries, reference_answer, schema};
+use clydesdale::hashtable::DimTables;
+use clydesdale::probe::{
+    probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
+};
+use proptest::prelude::*;
+
+/// Chunk the projected fact rows into blocks of `block_rows`.
+fn blocks_of(
+    rows: &[Row],
+    scan_schema: &Schema,
+    cols: &[usize],
+    block_rows: usize,
+) -> Vec<RowBlock> {
+    let dtypes: Vec<_> = scan_schema.fields().iter().map(|f| f.dtype).collect();
+    rows.chunks(block_rows.max(1))
+        .map(|chunk| {
+            let mut b = RowBlockBuilder::new(&dtypes);
+            for r in chunk {
+                b.push_row(&r.project(cols)).unwrap();
+            }
+            b.finish()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Vectorized == scalar block == row-at-a-time == reference, for every
+    /// query shape, over arbitrary seeds and block boundaries.
+    #[test]
+    fn kernels_agree_with_each_other_and_the_reference(
+        qi in 0usize..13,
+        seed in 0u64..1_000,
+        block_rows in 1usize..3_000,
+    ) {
+        let data = SsbGen::new(0.002, seed).gen_all();
+        let q = &all_queries()[qi];
+        let fact_schema = schema::lineorder_schema();
+        let cols: Vec<usize> = q
+            .fact_columns()
+            .iter()
+            .map(|c| fact_schema.index_of(c).unwrap())
+            .collect();
+        let scan_schema = fact_schema.project(&cols);
+        let plan = ProbePlan::compile(q, &scan_schema).unwrap();
+        let tables = DimTables::build_all(&q.joins, |dim| {
+            Ok(data.dimension(dim).unwrap().to_vec())
+        })
+        .unwrap();
+        let blocks = blocks_of(&data.lineorder, &scan_schema, &cols, block_rows);
+
+        // Scalar block kernel.
+        let mut acc_scalar = FxHashMap::default();
+        let mut st_scalar = ProbeStats::default();
+        for b in &blocks {
+            probe_block(b, &plan, &tables, &mut acc_scalar, &mut st_scalar).unwrap();
+        }
+
+        // Row-at-a-time kernel.
+        let mut acc_row = FxHashMap::default();
+        let mut st_row = ProbeStats::default();
+        for lo in &data.lineorder {
+            probe_row(&lo.project(&cols), &plan, &tables, &mut acc_row, &mut st_row).unwrap();
+        }
+
+        // Vectorized kernel: packed keys, rematerialized (and folded —
+        // distinct dimension rows can share aux values) at emit time.
+        let layout = GroupLayout::new(&plan, &tables).expect("packed key fits for SSB");
+        let mut acc = GroupAcc::new(&layout, &plan.aggregate);
+        let mut buf = SelBuf::default();
+        let mut st_vec = ProbeStats::default();
+        for b in &blocks {
+            probe_block_vec(b, &plan, &tables, &layout, &mut acc, &mut buf, &mut st_vec).unwrap();
+        }
+        let mut acc_vec: FxHashMap<Row, i64> = FxHashMap::default();
+        for (k, v) in acc.entries() {
+            let key = layout.rematerialize(k, &tables);
+            let slot = acc_vec.entry(key).or_insert_with(|| plan.aggregate.identity());
+            *slot = plan.aggregate.fold(*slot, v);
+        }
+
+        // All three kernels: same aggregates, same counters.
+        prop_assert_eq!(&acc_vec, &acc_scalar, "{}: vectorized != scalar", q.id);
+        prop_assert_eq!(&acc_row, &acc_scalar, "{}: row != scalar", q.id);
+        prop_assert_eq!(st_vec.survivors, st_scalar.survivors,
+            "{}: survivor counts diverge", q.id);
+        prop_assert_eq!(st_vec, st_scalar, "{}: vectorized stats != scalar", q.id);
+        prop_assert_eq!(st_row, st_scalar, "{}: row stats != scalar", q.id);
+        prop_assert_eq!(st_scalar.rows, data.lineorder.len() as u64);
+
+        // And the reference executor blesses the shared answer.
+        let mut rows: Vec<Row> = acc_scalar
+            .into_iter()
+            .map(|(k, v)| k.concat(&clyde_common::row![v]))
+            .collect();
+        q.sort_result(&mut rows);
+        let expect = reference_answer(&data, q).unwrap();
+        prop_assert_eq!(rows, expect, "{}: kernels disagree with reference", q.id);
+    }
+}

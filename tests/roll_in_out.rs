@@ -36,10 +36,14 @@ fn queries_track_roll_in_and_roll_out() {
             cif: true,
             rcfile: false,
             text: false,
+            cluster_by_date: true,
         },
     )
     .unwrap();
     let mut data = gen.gen_all();
+    // Mirror the loader's date clustering so `data.lineorder` tracks the
+    // stored physical order — roll-out below drops the *oldest* groups.
+    data.lineorder.sort_by_key(|r| r.at(5).as_i64());
     let clyde = Clydesdale::new(Arc::clone(&dfs), layout.clone());
     clyde.warm_dimension_cache().unwrap();
     let q21 = query_by_id("Q2.1").unwrap();
@@ -79,7 +83,10 @@ fn queries_track_roll_in_and_roll_out() {
 
     // --- Roll-out: retire the two oldest row groups. ---
     let dropped_rows: u64 = {
-        let meta = CifReader::open(&dfs, &layout.fact_cif()).unwrap().meta().clone();
+        let meta = CifReader::open(&dfs, &layout.fact_cif())
+            .unwrap()
+            .meta()
+            .clone();
         meta.group_rows[..2].iter().sum()
     };
     roll_out(&dfs, &layout.fact_cif(), 2).unwrap();
@@ -119,6 +126,7 @@ fn maintenance_interleaves_with_queries_deterministically() {
             cif: true,
             rcfile: false,
             text: false,
+            cluster_by_date: true,
         },
     )
     .unwrap();
@@ -142,6 +150,9 @@ fn maintenance_interleaves_with_queries_deterministically() {
         last_rows = Some(a);
     }
     assert!(last_rows.is_some());
-    let meta = CifReader::open(&dfs, &layout.fact_cif()).unwrap().meta().clone();
+    let meta = CifReader::open(&dfs, &layout.fact_cif())
+        .unwrap()
+        .meta()
+        .clone();
     assert!(meta.first_group >= 3, "watermark must advance");
 }

@@ -1,20 +1,22 @@
 //! Figure 7 — Clydesdale vs Hive on cluster A (8 workers), SF1000.
 //!
-//! Usage: `fig7 [measurement-SF]` (default 0.02). Executes all 13 SSB
-//! queries for real at the measurement scale (validating every answer),
-//! then extrapolates to SF1000 on cluster A with the calibrated cost model.
+//! Usage: `fig7 [measurement-SF] [--trace <out.json>]` (default SF 0.02).
+//! Executes all 13 SSB queries for real at the measurement scale
+//! (validating every answer), then extrapolates to SF1000 on cluster A with
+//! the calibrated cost model. With `--trace`, every measured job's timeline
+//! is written as Perfetto-loadable Chrome trace JSON.
 
-use clyde_bench::harness::{measure, Extrapolator, MeasureWhat, MeasurementConfig};
+use clyde_bench::harness::{measure_with_obs, Extrapolator, MeasureWhat, MeasurementConfig};
 use clyde_bench::paper;
 use clyde_bench::report::{render_table, secs, speedup};
 use clyde_dfs::ClusterSpec;
 use clyde_hive::JoinStrategy;
+use std::sync::Arc;
 
 fn main() {
-    let sf: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.02);
+    let args = clyde_bench::cli::parse("fig7", 0.02);
+    let sf = args.sf;
+    let obs = args.obs();
     let config = MeasurementConfig {
         sf,
         ..MeasurementConfig::default()
@@ -22,14 +24,16 @@ fn main() {
     eprintln!(
         "measuring all 13 SSB queries at SF {sf} (Clydesdale + Hive mapjoin + Hive repartition), validating results..."
     );
-    let m = measure(
+    let m = measure_with_obs(
         &config,
         MeasureWhat {
             hive: true,
             ablations: false,
         },
+        Arc::clone(&obs),
     )
     .expect("measurement failed");
+    args.write_trace(&obs);
     let ex = Extrapolator::new(ClusterSpec::cluster_a(), 1000.0, &m);
 
     let mut rows = Vec::new();

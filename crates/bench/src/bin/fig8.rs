@@ -1,35 +1,37 @@
 //! Figure 8 — Clydesdale vs Hive on cluster B (40 workers), SF1000.
 //!
-//! Usage: `fig8 [measurement-SF]` (default 0.02). Same methodology as
-//! `fig7`, priced on cluster B. The paper's observations to reproduce: the
-//! speedup shrinks (5.2x–21.4x, avg 11.1x) because per-node work is smaller
-//! while hash-table builds and scheduling overheads stay constant, and the
-//! mapjoin plans complete (32 GB nodes).
+//! Usage: `fig8 [measurement-SF] [--trace <out.json>]` (default SF 0.02).
+//! Same methodology as `fig7`, priced on cluster B. The paper's
+//! observations to reproduce: the speedup shrinks (5.2x–21.4x, avg 11.1x)
+//! because per-node work is smaller while hash-table builds and scheduling
+//! overheads stay constant, and the mapjoin plans complete (32 GB nodes).
 
-use clyde_bench::harness::{measure, Extrapolator, MeasureWhat, MeasurementConfig};
+use clyde_bench::harness::{measure_with_obs, Extrapolator, MeasureWhat, MeasurementConfig};
 use clyde_bench::paper;
 use clyde_bench::report::{render_table, secs, speedup};
 use clyde_dfs::ClusterSpec;
 use clyde_hive::JoinStrategy;
+use std::sync::Arc;
 
 fn main() {
-    let sf: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.02);
+    let args = clyde_bench::cli::parse("fig8", 0.02);
+    let sf = args.sf;
+    let obs = args.obs();
     let config = MeasurementConfig {
         sf,
         ..MeasurementConfig::default()
     };
     eprintln!("measuring all 13 SSB queries at SF {sf}, validating results...");
-    let m = measure(
+    let m = measure_with_obs(
         &config,
         MeasureWhat {
             hive: true,
             ablations: false,
         },
+        Arc::clone(&obs),
     )
     .expect("measurement failed");
+    args.write_trace(&obs);
     let ex = Extrapolator::new(ClusterSpec::cluster_b(), 1000.0, &m);
 
     let mut rows = Vec::new();

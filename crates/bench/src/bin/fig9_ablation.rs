@@ -8,16 +8,18 @@
 //! ≈ 3.4x average (flight 2 ≈ 3.8x, flight 4 ≈ 2.0x); multithreading off
 //! ≈ 2.4x average (flight 1 ≈ 1.2x, flight 4 ≈ 4.5x).
 
-use clyde_bench::harness::{measure, Ablation, Extrapolator, MeasureWhat, MeasurementConfig};
+use clyde_bench::harness::{
+    measure_with_obs, Ablation, Extrapolator, MeasureWhat, MeasurementConfig,
+};
 use clyde_bench::paper;
 use clyde_bench::report::{render_table, speedup};
 use clyde_dfs::ClusterSpec;
+use std::sync::Arc;
 
 fn main() {
-    let sf: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.02);
+    let args = clyde_bench::cli::parse("fig9_ablation", 0.02);
+    let sf = args.sf;
+    let obs = args.obs();
     let config = MeasurementConfig {
         sf,
         ..MeasurementConfig::default()
@@ -25,14 +27,16 @@ fn main() {
     eprintln!(
         "measuring all 13 SSB queries at SF {sf} under 6 feature configurations, validating results..."
     );
-    let m = measure(
+    let m = measure_with_obs(
         &config,
         MeasureWhat {
             hive: false,
             ablations: true,
         },
+        Arc::clone(&obs),
     )
     .expect("measurement failed");
+    args.write_trace(&obs);
     let ex = Extrapolator::new(ClusterSpec::cluster_a(), 1000.0, &m);
 
     let ablations = [

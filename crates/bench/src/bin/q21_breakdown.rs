@@ -4,31 +4,45 @@
 //! three dimension hash tables, 164 s scanning/probing 10.8 GB per node at
 //! 67 MB/s, <10 s final sort), while Hive's five-stage mapjoin plan took
 //! 15,142 s (2,640 / 2,040 / 9,180 / 720 / 19 s) and the repartition plan
-//! 17,700 s. This binary prints the same decomposition from the
-//! reproduction's cost model.
+//! 17,700 s.
+//!
+//! This binary prints the same decomposition as a *view over recorded
+//! spans*: the extrapolated SF1000 job is turned into a [`JobHistory`],
+//! recorded into the span tree, and the table's build/scan rows are read
+//! back from the span durations — exactly what a Perfetto user would see.
+//! Pass `--trace <out.json>` to write that span tree (plus every measured
+//! job's timeline) as Chrome trace JSON.
+//!
+//! [`JobHistory`]: clyde_common::obs::JobHistory
 
-use clyde_bench::harness::{measure, Extrapolator, MeasureWhat, MeasurementConfig};
+use clyde_bench::harness::{measure_with_obs, Extrapolator, MeasureWhat, MeasurementConfig};
 use clyde_bench::paper::cluster_a::q21;
 use clyde_bench::report::{render_table, secs};
+use clyde_common::obs::{SpanKind, TaskKind};
+use clyde_common::Obs;
 use clyde_dfs::ClusterSpec;
 use clyde_hive::JoinStrategy;
+use clyde_mapred::job_history;
+use std::sync::Arc;
 
 fn main() {
-    let sf: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.02);
+    let args = clyde_bench::cli::parse("q21_breakdown", 0.02);
+    let sf = args.sf;
+    // The breakdown below is derived from spans, so this binary always
+    // records; `--trace` additionally writes the span log out.
+    let obs = Obs::enabled();
     let config = MeasurementConfig {
         sf,
         ..MeasurementConfig::default()
     };
     eprintln!("measuring Q2.1 (and the other 12 queries) at SF {sf}...");
-    let m = measure(
+    let m = measure_with_obs(
         &config,
         MeasureWhat {
             hive: true,
             ablations: false,
         },
+        Arc::clone(&obs),
     )
     .expect("measurement failed");
     let cluster = ClusterSpec::cluster_a();
@@ -39,21 +53,37 @@ fn main() {
         .find(|q| q.query.id == "Q2.1")
         .expect("Q2.1 measured");
 
-    // ---- Clydesdale side. ----
-    let e = ex.extrapolate_one_per_node(&qm.query, &qm.clyde);
+    // ---- Clydesdale side: extrapolate to SF1000, record the job history,
+    // and read the breakdown back out of the recorded spans. ----
+    let mut e = ex.extrapolate_one_per_node(&qm.query, &qm.clyde);
+    e.name = "clydesdale-Q2.1@SF1000".into();
     let params = &ex.params;
-    let task = &e.map_tasks[0].cost;
-    let build_s = task.build_rows as f64 / params.build_rows_per_s;
-    let scan_gb = (task.local_bytes + task.remote_bytes) as f64 / (1u64 << 30) as f64;
-    let bw = params.hdfs.effective_read_bw(&cluster.node);
-    let scan_s = (task.local_bytes + task.remote_bytes) as f64 / bw;
     let cost = e
         .price(params, &cluster)
         .expect("clydesdale fits in memory");
+    let hist = job_history(&e, &cost, params, &cluster);
+    let job = obs.record_job(hist.clone()).expect("obs is enabled");
+    let spans = obs.spans().spans();
+    // Longest per-task total of a phase, in seconds — the per-node number
+    // the paper quotes (every node runs one map task).
+    let phase_max_s = |name: &str| -> f64 {
+        spans
+            .iter()
+            .filter(|s| s.pid == job.pid && s.kind == SpanKind::Phase && s.name == name)
+            .map(|s| s.dur_us)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e6
+    };
+    let build_s = phase_max_s("hash-build");
+    let scan_s = phase_max_s("scan");
+    let task = &e.map_tasks[0].cost;
+    let scan_gb = (task.local_bytes + task.remote_bytes) as f64 / (1u64 << 30) as f64;
+    let bw = params.hdfs.effective_read_bw(&cluster.node);
     let total = ex.clyde_time(qm).unwrap();
 
     println!("\n=== Q2.1 on cluster A, SF1000 ===\n");
-    println!("Clydesdale (one multi-threaded map task per node):");
+    println!("Clydesdale (one multi-threaded map task per node, from recorded spans):");
     println!(
         "{}",
         render_table(
@@ -83,7 +113,17 @@ fn main() {
             ],
         )
     );
-    let _ = cost;
+    if let Some(st) = hist.stragglers(TaskKind::Map) {
+        println!(
+            "map tasks: {} lanes, median {} max {} (skew {:.2}x, slowest task {} on node {})",
+            st.tasks,
+            secs(st.median_s),
+            secs(st.max_s),
+            st.time_skew,
+            st.straggler_task,
+            st.straggler_node
+        );
+    }
     let measured = qm.clyde.total_map_cost();
     println!(
         "zone maps: {} row groups checked, {} skipped (Q2.1 carries no fact or date range \
@@ -134,4 +174,5 @@ fn main() {
         rp / total,
         q21::HIVE_REPART_TOTAL_S / q21::CLYDE_TOTAL_S
     );
+    args.write_trace(&obs);
 }

@@ -1,0 +1,94 @@
+//! Validate a Chrome trace-event JSON file produced by `--trace`.
+//!
+//! Usage: `trace_check <trace.json>`. Checks that the file is well-formed
+//! JSON, that every event carries the required fields, and that within each
+//! (pid, tid) track the "X" events appear with monotone non-decreasing
+//! timestamps — the invariant the deterministic serializer guarantees and
+//! Perfetto's nesting logic relies on. Exits non-zero on any violation, so
+//! CI can gate on it.
+
+use clyde_common::obs::json::{self, Json};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_check <trace.json>");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let root = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+    let events = match root.get("traceEvents").and_then(Json::as_arr) {
+        Some(a) => a,
+        None => return fail("missing traceEvents array"),
+    };
+
+    let mut x_events = 0usize;
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph").and_then(Json::as_str) {
+            Some(p) => p,
+            None => return fail(&format!("event {i} has no ph")),
+        };
+        let need_num = |field: &str| -> Result<f64, String> {
+            ev.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("event {i} (ph={ph}) missing numeric {field}"))
+        };
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return fail(&format!("event {i} has no name"));
+        }
+        let pid = match need_num("pid") {
+            Ok(v) => v as u64,
+            Err(e) => return fail(&e),
+        };
+        match ph {
+            "M" => {} // metadata: name/pid (+ optional tid) suffice
+            "X" => {
+                let tid = match need_num("tid") {
+                    Ok(v) => v as u64,
+                    Err(e) => return fail(&e),
+                };
+                let ts = match need_num("ts") {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                };
+                if need_num("dur").is_err() {
+                    return fail(&format!("event {i} (X) missing numeric dur"));
+                }
+                if let Some(prev) = last_ts.insert((pid, tid), ts) {
+                    if ts < prev {
+                        return fail(&format!(
+                            "track (pid {pid}, tid {tid}): ts went backwards at event {i} \
+                             ({ts} after {prev})"
+                        ));
+                    }
+                }
+                x_events += 1;
+            }
+            other => return fail(&format!("event {i} has unexpected ph \"{other}\"")),
+        }
+    }
+    if x_events == 0 {
+        return fail("trace contains no X (duration) events");
+    }
+    println!(
+        "trace_check: OK: {x_events} duration events across {} tracks",
+        last_ts.len()
+    );
+    ExitCode::SUCCESS
+}

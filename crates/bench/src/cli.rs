@@ -1,0 +1,66 @@
+//! Tiny argument parser shared by the figure binaries.
+//!
+//! Every binary accepts an optional positional measurement scale factor
+//! (as before) plus `--trace <path>`, which turns on observability for the
+//! run and writes the recorded spans as Chrome trace-event JSON — open the
+//! file in Perfetto (ui.perfetto.dev) to see the simulated job timelines.
+
+use clyde_common::Obs;
+use std::sync::Arc;
+
+pub struct BenchArgs {
+    /// Measurement scale factor (positional, defaults per binary).
+    pub sf: f64,
+    /// Where to write the Chrome trace, if requested.
+    pub trace: Option<String>,
+}
+
+impl BenchArgs {
+    /// An enabled hub when `--trace` was given, the no-op hub otherwise.
+    pub fn obs(&self) -> Arc<Obs> {
+        if self.trace.is_some() {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        }
+    }
+
+    /// Write the recorded trace to the `--trace` path (no-op without one).
+    pub fn write_trace(&self, obs: &Obs) {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, obs.chrome_trace()).expect("write trace file");
+            eprintln!("wrote Chrome trace to {path} (load in ui.perfetto.dev)");
+        }
+    }
+}
+
+/// Parse `[sf] [--trace <path>]` from `std::env::args`.
+pub fn parse(bin: &str, default_sf: f64) -> BenchArgs {
+    let mut out = BenchArgs {
+        sf: default_sf,
+        trace: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => match args.next() {
+                Some(path) => out.trace = Some(path),
+                None => usage(bin, "--trace needs a file path"),
+            },
+            "--help" | "-h" => usage(bin, ""),
+            other => match other.parse::<f64>() {
+                Ok(v) if v > 0.0 => out.sf = v,
+                _ => usage(bin, &format!("unrecognized argument `{other}`")),
+            },
+        }
+    }
+    out
+}
+
+fn usage(bin: &str, err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: {bin} [measurement-sf] [--trace <out.json>]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

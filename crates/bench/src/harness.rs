@@ -1,7 +1,7 @@
 //! Measurement and extrapolation machinery shared by the figure binaries.
 
-use clyde_common::Result;
-use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_common::{Obs, Result};
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions, IoSnapshot};
 use clyde_hive::{Hive, JoinStrategy};
 use clyde_mapred::{CostParams, Extrapolation, JobProfile, MapTaskScaling};
 use clyde_ssb::gen::SsbGen;
@@ -84,6 +84,10 @@ pub struct QueryMeasurement {
     /// Per-stage profiles, present when Hive was measured.
     pub hive_mapjoin: Vec<JobProfile>,
     pub hive_repartition: Vec<JobProfile>,
+    /// DFS traffic of the Clydesdale run alone, taken through a scoped
+    /// snapshot so consecutive queries (and the Hive runs in between) don't
+    /// bleed into each other's counters.
+    pub io: IoSnapshot,
 }
 
 /// A full measurement pass.
@@ -107,6 +111,16 @@ pub struct MeasureWhat {
 /// Run the measurement pass: load SSB once, execute the requested systems
 /// over all 13 queries, validating answers.
 pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurements> {
+    measure_with_obs(config, what, Obs::disabled())
+}
+
+/// [`measure`] with an observability hub attached: every Clydesdale and Hive
+/// job records its history, spans, and counters there.
+pub fn measure_with_obs(
+    config: &MeasurementConfig,
+    what: MeasureWhat,
+    obs: Arc<Obs>,
+) -> Result<Measurements> {
     let cluster = measurement_cluster(config.workers);
     let dfs = Dfs::new(
         cluster,
@@ -136,7 +150,7 @@ pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurem
         None
     };
 
-    let clyde = Clydesdale::new(Arc::clone(&dfs), layout.clone());
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout.clone()).with_obs(Arc::clone(&obs));
     clyde.warm_dimension_cache()?;
     let ablated: Vec<(Features, Clydesdale)> = if what.ablations {
         [
@@ -155,12 +169,16 @@ pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurem
     } else {
         Vec::new()
     };
-    let hive_mj = Hive::new(Arc::clone(&dfs), layout.clone(), JoinStrategy::MapJoin);
-    let hive_rp = Hive::new(Arc::clone(&dfs), layout.clone(), JoinStrategy::Repartition);
+    let hive_mj = Hive::new(Arc::clone(&dfs), layout.clone(), JoinStrategy::MapJoin)
+        .with_obs(Arc::clone(&obs));
+    let hive_rp = Hive::new(Arc::clone(&dfs), layout.clone(), JoinStrategy::Repartition)
+        .with_obs(Arc::clone(&obs));
 
     let mut queries = Vec::with_capacity(13);
     for query in all_queries() {
+        let scope = dfs.io_scope();
         let result = clyde.query(&query)?;
+        let io = scope.delta();
         if let Some(data) = &reference_data {
             let expect = reference_answer(data, &query)?;
             assert_eq!(result.rows, expect, "{}: clydesdale mismatch", query.id);
@@ -211,6 +229,7 @@ pub fn measure(config: &MeasurementConfig, what: MeasureWhat) -> Result<Measurem
             ablations,
             hive_mapjoin,
             hive_repartition,
+            io,
         });
     }
 

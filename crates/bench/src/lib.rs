@@ -17,6 +17,7 @@
 //!
 //! [`JobProfile`]: clyde_mapred::JobProfile
 
+pub mod cli;
 pub mod harness;
 pub mod paper;
 pub mod report;

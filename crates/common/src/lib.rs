@@ -12,12 +12,15 @@
 //! * [`hash`] — an Fx-style fast hasher for integer-keyed hash tables
 //!   (dimension primary keys), implemented locally to stay dependency-free.
 //! * [`varint`] — LEB128 variable-length integers used by the storage formats.
+//! * [`obs`] — observability: hierarchical span recording, the global
+//!   metrics registry, and job-history reports with Chrome-trace export.
 
 pub mod colblock;
 pub mod datum;
 pub mod error;
 pub mod hash;
 pub mod keycodec;
+pub mod obs;
 pub mod row;
 pub mod rowcodec;
 pub mod schema;
@@ -27,5 +30,6 @@ pub use colblock::{ColumnData, RowBlock, RowBlockBuilder};
 pub use datum::{Datum, DatumType};
 pub use error::{ClydeError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use obs::Obs;
 pub use row::Row;
 pub use schema::{Field, Schema};

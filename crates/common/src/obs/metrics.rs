@@ -1,0 +1,243 @@
+//! Global metrics registry: counters, gauges, and histograms behind one
+//! snapshot-able, resettable API.
+//!
+//! This unifies the accounting that used to be scattered across `TaskCost`,
+//! `clyde-dfs`'s `IoSnapshot`, scheduler locality fractions, and shuffle
+//! record/byte counts. Names are dotted paths (`mapred.shuffle.bytes`);
+//! snapshots are sorted by name, so rendering is deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregated observations of a histogram metric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// Value of one registered metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSummary),
+}
+
+/// Point-in-time copy of the registry, sorted by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(*h),
+            _ => None,
+        })
+    }
+
+    /// Deterministic text rendering, one metric per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(c) => out.push_str(&format!("{name} = {c}\n")),
+                MetricValue::Gauge(g) => out.push_str(&format!("{name} = {g:.4}\n")),
+                MetricValue::Histogram(h) => out.push_str(&format!(
+                    "{name} = count {} sum {:.4} min {:.4} mean {:.4} max {:.4}\n",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.mean(),
+                    h.max
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// The registry. `disabled()` constructs a no-op that ignores every update.
+pub struct MetricsRegistry {
+    inner: Option<Mutex<BTreeMap<String, MetricValue>>>,
+}
+
+impl MetricsRegistry {
+    pub fn enabled() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Some(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.lock().expect("metrics registry poisoned");
+        match map.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += delta,
+            _ => {
+                map.insert(name.to_string(), MetricValue::Counter(delta));
+            }
+        }
+    }
+
+    /// Set gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.lock().expect("metrics registry poisoned");
+        map.insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.lock().expect("metrics registry poisoned");
+        match map.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.record(value),
+            _ => {
+                let mut h = HistogramSummary::default();
+                h.record(value);
+                map.insert(name.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// Copy out every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(inner) => {
+                let map = inner.lock().expect("metrics registry poisoned");
+                MetricsSnapshot {
+                    entries: map.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                }
+            }
+        }
+    }
+
+    /// Drop every metric; the next update recreates them from zero.
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("metrics registry poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset_semantics() {
+        let m = MetricsRegistry::enabled();
+        m.counter_add("a.jobs", 1);
+        m.counter_add("a.jobs", 2);
+        m.gauge_set("b.locality", 0.5);
+        m.gauge_set("b.locality", 0.75);
+        m.histogram_record("c.task_s", 2.0);
+        m.histogram_record("c.task_s", 4.0);
+
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a.jobs"), Some(3));
+        assert_eq!(snap.gauge("b.locality"), Some(0.75));
+        let h = snap.histogram("c.task_s").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.mean(), 3.0);
+
+        // Snapshot is a copy: later updates don't mutate it.
+        m.counter_add("a.jobs", 10);
+        assert_eq!(snap.counter("a.jobs"), Some(3));
+
+        // Names come out sorted regardless of insertion order.
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.jobs", "b.locality", "c.task_s"]);
+
+        m.reset();
+        let empty = m.snapshot();
+        assert!(empty.entries.is_empty());
+        assert_eq!(empty.counter("a.jobs"), None);
+        m.counter_add("a.jobs", 5);
+        assert_eq!(m.snapshot().counter("a.jobs"), Some(5));
+    }
+
+    #[test]
+    fn disabled_registry_ignores_updates() {
+        let m = MetricsRegistry::disabled();
+        assert!(!m.is_enabled());
+        m.counter_add("x", 1);
+        m.gauge_set("y", 1.0);
+        m.histogram_record("z", 1.0);
+        assert!(m.snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn kind_change_replaces_metric() {
+        let m = MetricsRegistry::enabled();
+        m.gauge_set("x", 1.0);
+        m.counter_add("x", 2);
+        assert_eq!(m.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let m = MetricsRegistry::enabled();
+        m.counter_add("n.c", 7);
+        m.gauge_set("n.g", 0.25);
+        m.histogram_record("n.h", 1.5);
+        let a = m.snapshot().render();
+        let b = m.snapshot().render();
+        assert_eq!(a, b);
+        assert!(a.contains("n.c = 7\n"));
+        assert!(a.contains("n.g = 0.2500\n"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Chrome trace-event export: turn recorded spans into deterministic JSON
+//! loadable by Perfetto / `chrome://tracing`, and project a [`JobHistory`]
+//! into the span recorder.
+//!
+//! Layout: one trace *process* per job; thread 0 is the job/stage lane and
+//! each (task kind, node, slot) gets its own lane. All timestamps are
+//! simulated microseconds, so two identical runs serialize byte-identically.
+
+use super::history::{JobHistory, TaskKind, TaskLane};
+use super::json::escape;
+use super::span::{us, Span, SpanId, SpanKind, SpanRecorder};
+use std::collections::BTreeMap;
+
+/// Project a job history into the recorder as a span tree. Returns the
+/// (pid, job root span) pair, or `None` when the recorder is disabled.
+pub fn record_job(rec: &SpanRecorder, h: &JobHistory) -> Option<(u32, SpanId)> {
+    if !rec.is_enabled() {
+        return None;
+    }
+    let pid = rec.new_process(&h.name);
+    rec.name_thread(pid, 0, "job");
+
+    // Deterministic lane numbering: map lanes first, then reduce lanes,
+    // ordered by (node, slot).
+    let mut lanes: BTreeMap<(TaskKind, usize, u32), u32> = BTreeMap::new();
+    for t in &h.tasks {
+        lanes.entry((t.kind, t.node, t.slot)).or_insert(0);
+    }
+    for (i, ((kind, node, slot), tid)) in lanes.iter_mut().enumerate() {
+        *tid = i as u32 + 1;
+        rec.name_thread(
+            pid,
+            *tid,
+            &format!("{} node{} slot{}", kind.label(), node, slot),
+        );
+    }
+
+    let total_us = us(h.total_s());
+    let root = rec.span(
+        None,
+        SpanKind::Job,
+        &h.name,
+        pid,
+        0,
+        0,
+        total_us,
+        vec![
+            ("map_tasks".into(), h.lanes(TaskKind::Map).len().to_string()),
+            (
+                "reduce_tasks".into(),
+                h.lanes(TaskKind::Reduce).len().to_string(),
+            ),
+            ("map_concurrency".into(), h.map_concurrency.to_string()),
+            ("scan_locality".into(), format!("{:.4}", h.locality)),
+            ("split_locality".into(), format!("{:.4}", h.split_locality)),
+            ("failed_attempts".into(), h.failed_attempts.to_string()),
+        ],
+    )?;
+
+    // Stage band on the job lane: setup | map | shuffle | reduce | overhead.
+    let mut t = 0.0_f64;
+    let mut stage_ids: BTreeMap<TaskKind, SpanId> = BTreeMap::new();
+    for (name, dur, kind) in [
+        ("setup", h.setup_s, None),
+        ("map", h.map_s, Some(TaskKind::Map)),
+        ("shuffle", h.shuffle_s, None),
+        ("reduce", h.reduce_s, Some(TaskKind::Reduce)),
+        ("overhead", h.overhead_s, None),
+    ] {
+        if dur <= 0.0 {
+            continue;
+        }
+        let mut args = Vec::new();
+        if name == "shuffle" {
+            args.push(("bytes".into(), h.shuffle_bytes.to_string()));
+        }
+        if name == "reduce" && h.merge_runs > 0 {
+            args.push(("merged_runs".into(), h.merge_runs.to_string()));
+        }
+        if name == "map" && h.combine_input_records > 0 {
+            args.push(("combine_in".into(), h.combine_input_records.to_string()));
+            args.push(("combine_out".into(), h.combine_output_records.to_string()));
+        }
+        let id = rec.span(
+            Some(root),
+            SpanKind::Stage,
+            name,
+            pid,
+            0,
+            us(t),
+            us(t + dur).saturating_sub(us(t)),
+            args,
+        )?;
+        if let Some(k) = kind {
+            stage_ids.insert(k, id);
+        }
+        t += dur;
+    }
+
+    for task in &h.tasks {
+        let tid = lanes[&(task.kind, task.node, task.slot)];
+        let parent = stage_ids.get(&task.kind).copied().or(Some(root));
+        let t_start = us(task.start_s);
+        let t_dur = us(task.finish_s()).saturating_sub(t_start);
+        let tspan = rec.span(
+            parent,
+            SpanKind::Task,
+            &format!("{} {}", task.kind.label(), task.index),
+            pid,
+            tid,
+            t_start,
+            t_dur,
+            task_args(task),
+        )?;
+        for ph in &task.phases {
+            if ph.dur_s <= 0.0 {
+                continue;
+            }
+            // Clamp phase intervals inside the task span so rounding never
+            // breaks parent/child nesting in the viewer.
+            let p_start = us(ph.start_s).clamp(t_start, t_start + t_dur);
+            let p_end = us(ph.start_s + ph.dur_s).clamp(p_start, t_start + t_dur);
+            let mut args = Vec::new();
+            if let Some(note) = &ph.note {
+                args.push(("note".into(), note.clone()));
+            }
+            rec.span(
+                Some(tspan),
+                SpanKind::Phase,
+                ph.phase.label(),
+                pid,
+                tid,
+                p_start,
+                p_end - p_start,
+                args,
+            );
+        }
+    }
+    Some((pid, root))
+}
+
+fn task_args(task: &TaskLane) -> Vec<(String, String)> {
+    let mut args = vec![
+        ("node".into(), task.node.to_string()),
+        ("slot".into(), task.slot.to_string()),
+        ("locality".into(), format!("{:.4}", task.locality())),
+    ];
+    if task.local_bytes + task.remote_bytes > 0 {
+        args.push(("local_bytes".into(), task.local_bytes.to_string()));
+        args.push(("remote_bytes".into(), task.remote_bytes.to_string()));
+    }
+    if task.emit_records > 0 {
+        args.push(("emit_records".into(), task.emit_records.to_string()));
+        args.push(("emit_bytes".into(), task.emit_bytes.to_string()));
+    }
+    args
+}
+
+/// Serialize recorder contents as Chrome trace-event JSON.
+///
+/// Events are ordered: process metadata (by pid), thread metadata (by pid,
+/// tid), then complete ("X") events sorted by (pid, tid, ts, -dur, id) —
+/// which makes `ts` monotone non-decreasing within every track and keeps
+/// output byte-stable across runs.
+pub fn chrome_trace(rec: &SpanRecorder) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let mut processes = rec.processes();
+    processes.sort_by_key(|p| p.0);
+    for (pid, name) in &processes {
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+        events.push(format!(
+            r#"{{"name":"process_sort_index","ph":"M","pid":{pid},"tid":0,"args":{{"sort_index":{pid}}}}}"#
+        ));
+    }
+    let mut threads = rec.threads();
+    threads.sort_by_key(|t| (t.0, t.1));
+    for (pid, tid, name) in &threads {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+        events.push(format!(
+            r#"{{"name":"thread_sort_index","ph":"M","pid":{pid},"tid":{tid},"args":{{"sort_index":{tid}}}}}"#
+        ));
+    }
+
+    let mut spans = rec.spans();
+    spans.sort_by(|a, b| {
+        (a.pid, a.tid, a.ts_us, std::cmp::Reverse(a.dur_us), a.id.0).cmp(&(
+            b.pid,
+            b.tid,
+            b.ts_us,
+            std::cmp::Reverse(b.dur_us),
+            b.id.0,
+        ))
+    });
+    for s in &spans {
+        events.push(event_json(s));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn event_json(s: &Span) -> String {
+    let mut args = String::new();
+    for (i, (k, v)) in s.args.iter().enumerate() {
+        if i > 0 {
+            args.push(',');
+        }
+        args.push_str(&format!(r#""{}":"{}""#, escape(k), escape(v)));
+    }
+    format!(
+        r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{{}}}}}"#,
+        escape(&s.name),
+        s.kind.cat(),
+        s.ts_us,
+        s.dur_us,
+        s.pid,
+        s.tid,
+        args
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::history::{Phase, PhaseSlice};
+    use crate::obs::json;
+
+    fn sample_history() -> JobHistory {
+        let task = |index: usize, node: usize, start: f64, dur: f64| TaskLane {
+            index,
+            kind: TaskKind::Map,
+            node,
+            slot: 0,
+            start_s: start,
+            dur_s: dur,
+            local_bytes: 1000,
+            remote_bytes: 0,
+            emit_records: 5,
+            emit_bytes: 50,
+            wall_ns: 123,
+            phases: vec![
+                PhaseSlice {
+                    phase: Phase::Setup,
+                    start_s: start,
+                    dur_s: 0.5,
+                    note: None,
+                },
+                PhaseSlice {
+                    phase: Phase::Scan,
+                    start_s: start + 0.5,
+                    dur_s: dur - 0.5,
+                    note: Some("1000 B".into()),
+                },
+            ],
+        };
+        JobHistory {
+            name: "job-x".into(),
+            setup_s: 1.0,
+            map_s: 10.0,
+            overhead_s: 2.0,
+            map_concurrency: 1,
+            locality: 1.0,
+            split_locality: 1.0,
+            tasks: vec![task(0, 0, 1.0, 10.0), task(1, 1, 1.0, 8.0)],
+            ..JobHistory::default()
+        }
+    }
+
+    #[test]
+    fn record_job_builds_span_tree() {
+        let rec = SpanRecorder::enabled();
+        let (pid, root) = record_job(&rec, &sample_history()).unwrap();
+        let spans = rec.spans();
+        // 1 job + 3 stages (setup/map/overhead) + 2 tasks + 4 phases.
+        assert_eq!(spans.len(), 10);
+        let job = &spans[root.0 as usize];
+        assert_eq!(job.kind, SpanKind::Job);
+        assert_eq!(job.dur_us, 13_000_000);
+        assert_eq!(job.pid, pid);
+        // Tasks parent to the map stage, phases to their task.
+        let tasks: Vec<&Span> = spans.iter().filter(|s| s.kind == SpanKind::Task).collect();
+        assert_eq!(tasks.len(), 2);
+        let map_stage = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Stage && s.name == "map")
+            .unwrap();
+        assert!(tasks.iter().all(|t| t.parent == Some(map_stage.id)));
+        for t in &tasks {
+            let phases: Vec<&Span> = spans
+                .iter()
+                .filter(|s| s.parent == Some(t.id) && s.kind == SpanKind::Phase)
+                .collect();
+            assert_eq!(phases.len(), 2);
+            // Nesting: phases stay inside the task interval.
+            for p in phases {
+                assert!(p.ts_us >= t.ts_us && p.end_us() <= t.end_us());
+            }
+        }
+        // Lanes: job lane 0 plus one lane per (node, slot).
+        assert_eq!(rec.threads().len(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_monotone() {
+        let rec = SpanRecorder::enabled();
+        record_job(&rec, &sample_history()).unwrap();
+        let text = chrome_trace(&rec);
+        let doc = json::parse(&text).expect("trace must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        let mut last: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph != "X" {
+                continue;
+            }
+            let pid = e.get("pid").unwrap().as_num().unwrap() as u64;
+            let tid = e.get("tid").unwrap().as_num().unwrap() as u64;
+            let ts = e.get("ts").unwrap().as_num().unwrap();
+            let prev = last.insert((pid, tid), ts);
+            if let Some(prev) = prev {
+                assert!(ts >= prev, "ts must be monotone within a track");
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic() {
+        let render = || {
+            let rec = SpanRecorder::enabled();
+            record_job(&rec, &sample_history()).unwrap();
+            chrome_trace(&rec)
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn disabled_recorder_produces_empty_trace() {
+        let rec = SpanRecorder::disabled();
+        assert!(record_job(&rec, &sample_history()).is_none());
+        let text = chrome_trace(&rec);
+        assert!(json::parse(&text).is_ok());
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::config::Features;
 use crate::planner::plan_query;
+use clyde_common::obs::{us, Obs, SpanKind};
 use clyde_common::{Result, Row};
 use clyde_dfs::Dfs;
 use clyde_mapred::{CostParams, Engine, JobCost, JobProfile};
@@ -73,6 +74,17 @@ impl Clydesdale {
 
     pub fn features(&self) -> Features {
         self.features
+    }
+
+    /// Attach an observability hub (chainable): jobs record their history
+    /// and spans there, and `query` appends the final-sort phase.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Clydesdale {
+        self.engine.set_obs(obs);
+        self
+    }
+
+    pub fn obs(&self) -> &Arc<Obs> {
+        self.engine.obs()
     }
 
     pub fn engine(&self) -> &Engine {
@@ -198,6 +210,25 @@ impl Clydesdale {
         query.finish_result(&mut rows);
         // Price the client-side sort like the paper's single-process sort.
         let final_sort_s = rows.len() as f64 / self.engine.params().sort_records_per_s + 0.5;
+        let obs = self.engine.obs();
+        if obs.is_enabled() {
+            // Append the client-side sort right after the job on its track.
+            if let Some(job) = obs.last_job() {
+                obs.spans().span(
+                    None,
+                    SpanKind::Phase,
+                    "final-sort",
+                    job.pid,
+                    0,
+                    us(job.total_s),
+                    us(job.total_s + final_sort_s).saturating_sub(us(job.total_s)),
+                    vec![("rows".into(), rows.len().to_string())],
+                );
+            }
+            obs.metrics().counter_add("clyde.queries", 1);
+            obs.metrics()
+                .histogram_record("clyde.final_sort_s", final_sort_s);
+        }
         Ok(QueryResult {
             rows,
             profile: result.profile,

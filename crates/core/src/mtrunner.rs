@@ -18,13 +18,15 @@ use crate::hashtable::DimTables;
 use crate::probe::{
     probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
 };
+use clyde_common::obs::Phase;
 use clyde_common::{rowcodec, ClydeError, Datum, FxHashMap, Result, Row, Schema};
 use clyde_mapred::{MapRunner, MapTaskContext, Reader};
 use clyde_ssb::loader::SsbLayout;
 use clyde_ssb::queries::StarQuery;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The Clydesdale map runner. Also handles the single-threaded ablation
 /// (`features.multithreading == false`): the same code path with one thread
@@ -66,7 +68,9 @@ impl MtMapRunner {
 
 impl MapRunner for MtMapRunner {
     fn run(&self, ctx: &MapTaskContext<'_>) -> Result<()> {
+        let build_start = Instant::now();
         let tables = self.acquire_tables(ctx)?;
+        ctx.note_wall_phase(Phase::HashBuild, build_start.elapsed().as_nanos() as u64);
         let plan = ProbePlan::compile(&self.query, &self.scan_schema)?;
         // The vectorized kernel needs a packed group-key layout; fall back
         // to the scalar kernel when ablated or when the key would not fit.
@@ -84,6 +88,9 @@ impl MapRunner for MtMapRunner {
             .as_ref()
             .map(|l| Mutex::new(GroupAcc::new(l, &self.query.aggregate)));
         let global_stats: Mutex<ProbeStats> = Mutex::new(ProbeStats::default());
+        // Wall-clock spent probing, summed across the runner's threads
+        // (observability only — simulated time comes from the cost model).
+        let probe_ns = AtomicU64::new(0);
 
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::with_capacity(threads);
@@ -95,7 +102,9 @@ impl MapRunner for MtMapRunner {
                 let global_acc = &global_acc;
                 let global_vacc = &global_vacc;
                 let global_stats = &global_stats;
+                let probe_ns = &probe_ns;
                 handles.push(scope.spawn(move || -> Result<()> {
+                    let thread_start = Instant::now();
                     let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
                     let mut vacc = layout
                         .as_ref()
@@ -141,6 +150,7 @@ impl MapRunner for MtMapRunner {
                         gv.lock().merge(va, agg);
                     }
                     global_stats.lock().add(&stats);
+                    probe_ns.fetch_add(thread_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     Ok(())
                 }));
             }
@@ -151,6 +161,8 @@ impl MapRunner for MtMapRunner {
             Ok(())
         })?;
 
+        ctx.note_wall_phase(Phase::Probe, probe_ns.into_inner());
+        let emit_start = Instant::now();
         let stats = global_stats.into_inner();
         ctx.add_cost(|c| {
             if self.features.block_iteration {
@@ -180,6 +192,7 @@ impl MapRunner for MtMapRunner {
         for (key, sum) in groups {
             ctx.emit(&key, Row::new(vec![Datum::I64(sum)]));
         }
+        ctx.note_wall_phase(Phase::Emit, emit_start.elapsed().as_nanos() as u64);
         Ok(())
     }
 }

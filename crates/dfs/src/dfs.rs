@@ -111,6 +111,12 @@ impl Dfs {
         self.metrics.reset();
     }
 
+    /// Open a scoped I/O window: its `delta()` covers only reads/writes
+    /// performed after this call (see [`IoMetrics::scope`]).
+    pub fn io_scope(&self) -> crate::metrics::IoScope<'_> {
+        self.metrics.scope()
+    }
+
     /// Open a new file for writing. `group` is the placement group handed to
     /// the placement policy (CIF passes the row-group directory so column
     /// files co-locate). `writer_node` attributes the write I/O; pass `None`

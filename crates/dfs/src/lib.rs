@@ -32,6 +32,6 @@ pub mod topology;
 pub use block::{BlockId, BlockMeta};
 pub use dfs::{Dfs, DfsOptions, DfsWriter, FileStatus};
 pub use local::NodeLocalStore;
-pub use metrics::{IoMetrics, IoSnapshot, ScanStats};
+pub use metrics::{IoMetrics, IoScope, IoSnapshot, ScanStats};
 pub use placement::{BlockPlacementPolicy, ColocatingPlacement, DefaultPlacement};
 pub use topology::{ClusterSpec, NodeId, NodeSpec};

@@ -178,6 +178,36 @@ impl IoMetrics {
             *n = NodeIo::default();
         }
     }
+
+    /// Open a scoped snapshot: `delta()` reports only the I/O performed
+    /// after this call. Lets consecutive jobs / bench iterations attribute
+    /// DFS traffic without resetting (and thus bleeding into) each other's
+    /// counters.
+    pub fn scope(&self) -> IoScope<'_> {
+        IoScope {
+            metrics: self,
+            start: self.snapshot(),
+        }
+    }
+}
+
+/// A window over [`IoMetrics`] opened by [`IoMetrics::scope`].
+#[derive(Debug)]
+pub struct IoScope<'a> {
+    metrics: &'a IoMetrics,
+    start: IoSnapshot,
+}
+
+impl IoScope<'_> {
+    /// I/O performed since the scope was opened.
+    pub fn delta(&self) -> IoSnapshot {
+        self.metrics.snapshot().since(&self.start)
+    }
+
+    /// The snapshot taken when the scope was opened.
+    pub fn start(&self) -> &IoSnapshot {
+        &self.start
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +254,25 @@ mod tests {
         m.record_write(NodeId(0), 5);
         m.reset();
         assert_eq!(m.snapshot().total_written(), 0);
+    }
+
+    #[test]
+    fn scopes_do_not_bleed_into_each_other() {
+        let m = IoMetrics::new(2);
+        m.record_local_read(NodeId(0), 100); // earlier job's traffic
+        let first = m.scope();
+        m.record_local_read(NodeId(0), 10);
+        m.record_remote_read(NodeId(1), 5);
+        let d1 = first.delta();
+        assert_eq!(d1.total_local_read(), 10);
+        assert_eq!(d1.total_remote_read(), 5);
+
+        let second = m.scope();
+        assert_eq!(second.delta().total_read(), 0);
+        m.record_write(NodeId(1), 3);
+        assert_eq!(second.delta().total_written(), 3);
+        // The earlier scope keeps its own baseline.
+        assert_eq!(first.delta().total_local_read(), 10);
+        assert_eq!(first.start().total_local_read(), 100);
     }
 }

@@ -5,6 +5,7 @@ use crate::repartition::{RepartitionMapper, RepartitionReducer};
 use crate::stages::{EmitValues, FoldValues, GroupByMapper, OrderByMapper};
 use crate::union::TaggedUnionInputFormat;
 use clyde_columnar::RcFileInputFormat;
+use clyde_common::obs::Obs;
 use clyde_common::{ClydeError, Result, Row};
 use clyde_dfs::Dfs;
 use clyde_mapred::engine::ClientArtifacts;
@@ -94,6 +95,17 @@ impl Hive {
             strategy,
             run_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Attach an observability hub (chainable): every stage job records its
+    /// history, spans, and counters there.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Hive {
+        self.engine.set_obs(obs);
+        self
+    }
+
+    pub fn obs(&self) -> &Arc<Obs> {
+        self.engine.obs()
     }
 
     pub fn engine(&self) -> &Engine {

@@ -20,6 +20,7 @@
 //! The model is a pure function of its inputs — no clocks, no randomness —
 //! so simulated results are reproducible bit-for-bit.
 
+use clyde_common::obs::{Phase, PhaseSlice};
 use clyde_dfs::testdfsio::HdfsPerfModel;
 use clyde_dfs::{ClusterSpec, NodeId};
 
@@ -60,6 +61,12 @@ pub struct TaskCost {
     pub zone_checked: u64,
     /// Of those, chunks skipped outright (no fetch, no decode).
     pub zone_skipped: u64,
+    /// Records entering the map-side combiner (pre-combine emit count).
+    pub combine_input_records: u64,
+    /// Records leaving the map-side combiner (what actually shuffles).
+    pub combine_output_records: u64,
+    /// Sorted runs this (reduce) task merged — Hadoop's spill/merge stat.
+    pub merge_runs: u64,
 }
 
 impl TaskCost {
@@ -88,6 +95,9 @@ impl TaskCost {
             threads: self.threads.max(other.threads),
             zone_checked: self.zone_checked + other.zone_checked,
             zone_skipped: self.zone_skipped + other.zone_skipped,
+            combine_input_records: self.combine_input_records + other.combine_input_records,
+            combine_output_records: self.combine_output_records + other.combine_output_records,
+            merge_runs: self.merge_runs + other.merge_runs,
         }
     }
 
@@ -111,6 +121,9 @@ impl TaskCost {
             threads: self.threads,
             zone_checked: s(self.zone_checked, fact_f),
             zone_skipped: s(self.zone_skipped, fact_f),
+            combine_input_records: s(self.combine_input_records, fact_f),
+            combine_output_records: s(self.combine_output_records, fact_f),
+            merge_runs: self.merge_runs,
         }
     }
 
@@ -133,6 +146,9 @@ impl TaskCost {
             threads: self.threads,
             zone_checked: self.zone_checked / n,
             zone_skipped: self.zone_skipped / n,
+            combine_input_records: self.combine_input_records / n,
+            combine_output_records: self.combine_output_records / n,
+            merge_runs: self.merge_runs / n,
         }
     }
 }
@@ -239,6 +255,150 @@ impl CostParams {
         let cpu = cost.deser_rows as f64 / (self.reduce_rows_per_s * cluster.node.cpu_factor);
         let write = cost.output_bytes as f64 / write_bw;
         self.task_overhead_s + cpu + write
+    }
+
+    /// Decompose [`Self::map_task_duration`] into phase intervals. Starts are
+    /// relative to the task's own start; the last interval ends exactly at
+    /// the task's duration, so every priced second lands in one phase.
+    ///
+    /// The scan and the CPU pipeline (probe then emit/sort) run overlapped:
+    /// both start when the build finishes and the window lasts
+    /// `max(io_read, cpu)`, exactly as the duration formula prices it.
+    pub fn map_task_phases(
+        &self,
+        cluster: &ClusterSpec,
+        cost: &TaskCost,
+        concurrency: u32,
+    ) -> Vec<PhaseSlice> {
+        let c = f64::from(concurrency.max(1));
+        let threads = f64::from(cost.threads.max(1)) * cluster.node.cpu_factor;
+        let cpu_f = cluster.node.cpu_factor;
+        let read_bw = self.hdfs.effective_read_bw(&cluster.node) / c;
+        let net_bw = cluster.network_bw / c;
+        let write_bw = self
+            .hdfs
+            .effective_write_bw(&cluster.node, 3, cluster.network_bw)
+            / c;
+
+        let io_read = cost.local_bytes as f64 / read_bw + cost.remote_bytes as f64 / net_bw;
+        let probe_cpu = cost.deser_rows as f64 / (self.framework_rows_per_s * cpu_f)
+            + cost.block_rows as f64 / (self.block_rows_per_s * threads)
+            + cost.rowiter_rows as f64 / (self.rowiter_rows_per_s * threads)
+            + cost.probe_rows as f64 / (self.probe_rows_per_s * threads);
+        let emit_cpu = cost.emit_records as f64 / (self.sort_records_per_s * cpu_f);
+        let build = cost.build_rows as f64 / (self.build_rows_per_s * cpu_f);
+        let load = cost.state_load_bytes as f64 / (self.state_deser_bw * cpu_f);
+        let write = cost.output_bytes as f64 / write_bw;
+
+        let mut phases = Vec::new();
+        let mut t = 0.0;
+        let push = |phases: &mut Vec<PhaseSlice>,
+                    phase: Phase,
+                    start: f64,
+                    dur: f64,
+                    note: Option<String>| {
+            if dur > 0.0 {
+                phases.push(PhaseSlice {
+                    phase,
+                    start_s: start,
+                    dur_s: dur,
+                    note,
+                });
+            }
+        };
+        push(&mut phases, Phase::Setup, t, self.task_overhead_s, None);
+        t += self.task_overhead_s;
+        push(
+            &mut phases,
+            Phase::StateLoad,
+            t,
+            load,
+            Some(format!("{} bytes", cost.state_load_bytes)),
+        );
+        t += load;
+        push(
+            &mut phases,
+            Phase::HashBuild,
+            t,
+            build,
+            Some(format!("{} rows", cost.build_rows)),
+        );
+        t += build;
+        push(
+            &mut phases,
+            Phase::Scan,
+            t,
+            io_read,
+            Some(format!(
+                "{} local + {} remote bytes",
+                cost.local_bytes, cost.remote_bytes
+            )),
+        );
+        push(
+            &mut phases,
+            Phase::Probe,
+            t,
+            probe_cpu,
+            Some(format!(
+                "{} probes, {} block rows",
+                cost.probe_rows, cost.block_rows
+            )),
+        );
+        push(
+            &mut phases,
+            Phase::Emit,
+            t + probe_cpu,
+            emit_cpu,
+            Some(format!(
+                "{} records, {} bytes",
+                cost.emit_records, cost.emit_bytes
+            )),
+        );
+        t += io_read.max(probe_cpu + emit_cpu);
+        push(
+            &mut phases,
+            Phase::Write,
+            t,
+            write,
+            Some(format!("{} bytes", cost.output_bytes)),
+        );
+        phases
+    }
+
+    /// Decompose [`Self::reduce_task_duration`] into phase intervals
+    /// (relative starts), mirroring the pricing formula exactly.
+    pub fn reduce_task_phases(&self, cluster: &ClusterSpec, cost: &TaskCost) -> Vec<PhaseSlice> {
+        let write_bw = self
+            .hdfs
+            .effective_write_bw(&cluster.node, 3, cluster.network_bw);
+        let cpu = cost.deser_rows as f64 / (self.reduce_rows_per_s * cluster.node.cpu_factor);
+        let write = cost.output_bytes as f64 / write_bw;
+        let mut phases = vec![PhaseSlice {
+            phase: Phase::Setup,
+            start_s: 0.0,
+            dur_s: self.task_overhead_s,
+            note: None,
+        }];
+        if cpu > 0.0 {
+            phases.push(PhaseSlice {
+                phase: Phase::Reduce,
+                start_s: self.task_overhead_s,
+                dur_s: cpu,
+                note: Some(format!(
+                    "{} records, {} runs merged",
+                    cost.deser_rows, cost.merge_runs
+                )),
+            });
+        }
+        if write > 0.0 {
+            phases.push(PhaseSlice {
+                phase: Phase::Write,
+                start_s: self.task_overhead_s + cpu,
+                dur_s: write,
+                note: Some(format!("{} bytes", cost.output_bytes)),
+            });
+        }
+        phases
     }
 }
 
@@ -398,6 +558,80 @@ mod tests {
         let t_b = shuffle_time(&p, &ClusterSpec::cluster_b(), 10 << 30);
         assert!(t_b < t_big, "bigger cluster shuffles faster");
         assert_eq!(shuffle_time(&p, &a(), 0), 0.0);
+    }
+
+    #[test]
+    fn map_phases_cover_exactly_the_priced_duration() {
+        let params = CostParams::paper();
+        let mut c = TaskCost::new();
+        c.local_bytes = 700 * (1 << 20);
+        c.remote_bytes = 30 * (1 << 20);
+        c.block_rows = 50_000_000;
+        c.probe_rows = 50_000_000;
+        c.build_rows = 400_000;
+        c.state_load_bytes = 1 << 20;
+        c.emit_records = 100_000;
+        c.emit_bytes = 3_200_000;
+        c.output_bytes = 1 << 20;
+        c.threads = 6;
+        for conc in [1u32, 6] {
+            let phases = params.map_task_phases(&a(), &c, conc);
+            let end = phases
+                .iter()
+                .map(|p| p.start_s + p.dur_s)
+                .fold(0.0, f64::max);
+            let d = params.map_task_duration(&a(), &c, conc);
+            assert!((end - d).abs() < 1e-9, "phases end {end} != duration {d}");
+            // Scan and probe overlap: same start after the build.
+            let scan = phases.iter().find(|p| p.phase == Phase::Scan).unwrap();
+            let probe = phases.iter().find(|p| p.phase == Phase::Probe).unwrap();
+            assert!((scan.start_s - probe.start_s).abs() < 1e-12);
+            // Emit follows the probe CPU.
+            let emit = phases.iter().find(|p| p.phase == Phase::Emit).unwrap();
+            assert!((emit.start_s - (probe.start_s + probe.dur_s)).abs() < 1e-12);
+            // Write starts when the overlapped window closes.
+            let write = phases.iter().find(|p| p.phase == Phase::Write).unwrap();
+            let window_end = scan
+                .start_s
+                .max(0.0)
+                .max(scan.start_s + scan.dur_s)
+                .max(emit.start_s + emit.dur_s);
+            assert!((write.start_s - window_end).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduce_phases_cover_exactly_the_priced_duration() {
+        let params = CostParams::paper();
+        let mut c = TaskCost::new();
+        c.deser_rows = 2_000_000;
+        c.output_bytes = 8 << 20;
+        c.merge_runs = 8;
+        let phases = params.reduce_task_phases(&a(), &c);
+        let end = phases
+            .iter()
+            .map(|p| p.start_s + p.dur_s)
+            .fold(0.0, f64::max);
+        let d = params.reduce_task_duration(&a(), &c);
+        assert!((end - d).abs() < 1e-9);
+        let reduce = phases.iter().find(|p| p.phase == Phase::Reduce).unwrap();
+        assert!(reduce.note.as_deref().unwrap().contains("8 runs merged"));
+    }
+
+    #[test]
+    fn combiner_and_merge_counters_aggregate() {
+        let mut c = TaskCost::new();
+        c.combine_input_records = 100;
+        c.combine_output_records = 10;
+        c.merge_runs = 4;
+        let total = c.merge(&c);
+        assert_eq!(total.combine_input_records, 200);
+        assert_eq!(total.combine_output_records, 20);
+        assert_eq!(total.merge_runs, 8);
+        let scaled = c.scaled(3.0, 1.0);
+        assert_eq!(scaled.combine_input_records, 300);
+        assert_eq!(scaled.merge_runs, 4, "runs scale with tasks, not rows");
+        assert_eq!(total.split(2), c);
     }
 
     #[test]

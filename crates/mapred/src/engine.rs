@@ -16,6 +16,7 @@
 
 use crate::cost::{CostParams, TaskCost};
 use crate::distcache::DistCache;
+use crate::history;
 use crate::input::InputSplit;
 use crate::job::{JobProfile, JobResult, JobSpec, OutputSpec, TaskProfile};
 use crate::scheduler;
@@ -23,10 +24,12 @@ use crate::shuffle;
 use crate::task::{
     MapOutputBuffer, MapTaskContext, MemoryLedger, MemoryTracker, NodeState, TaskIo,
 };
+use clyde_common::obs::{Obs, Phase, TaskKind};
 use clyde_common::{keycodec, rowcodec, ClydeError, Result, Row};
 use clyde_dfs::{Dfs, NodeId, NodeLocalStore};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Artifacts prepared by the job client before submission (Hive's master
 /// builds mapjoin hash tables here).
@@ -43,6 +46,10 @@ struct TaskOutput {
     cost: TaskCost,
     node: NodeId,
     output_file: Option<String>,
+    /// Measured wall-clock of the whole attempt (observability-only).
+    wall_ns: u64,
+    /// Wall-clock the runner attributed to specific phases.
+    wall_phases: Vec<(Phase, u64)>,
 }
 
 /// Everything a map-task attempt needs, bundled so the first parallel wave
@@ -64,6 +71,7 @@ struct MapTaskEnv<'a> {
 impl MapTaskEnv<'_> {
     /// Execute one attempt of one map task on `node`.
     fn exec(&self, task_idx: usize, node: NodeId) -> Result<TaskOutput> {
+        let wall_start = Instant::now();
         let split = &self.splits[task_idx];
         let io = TaskIo::new(Arc::clone(self.dfs), node);
         let out = Arc::new(MapOutputBuffer::new());
@@ -93,10 +101,12 @@ impl MapTaskEnv<'_> {
             dist_cache: Arc::clone(self.cache),
             out: Arc::clone(&out),
             cost: Arc::clone(&cost),
+            wall_phases: Mutex::new(Vec::new()),
         };
         let run_result = self.spec.map_runner.run(&ctx);
         // Transient per-task memory dies with the attempt, success or not.
         memory.release(*ctx.task_charges.lock());
+        let wall_phases = std::mem::take(&mut *ctx.wall_phases.lock());
         drop(ctx);
         run_result?;
 
@@ -135,7 +145,9 @@ impl MapTaskEnv<'_> {
             // Map-side sort (and combine) before the shuffle.
             shuffle::sort_records(&mut records);
             if let Some(comb) = &self.spec.combiner {
+                task_cost.combine_input_records += records.len() as u64;
                 records = shuffle::combine_sorted(records, &**comb)?;
+                task_cost.combine_output_records += records.len() as u64;
             }
         }
 
@@ -144,6 +156,8 @@ impl MapTaskEnv<'_> {
             cost: task_cost,
             node,
             output_file,
+            wall_ns: wall_start.elapsed().as_nanos() as u64,
+            wall_phases,
         })
     }
 
@@ -173,16 +187,13 @@ pub struct Engine {
     dfs: Arc<Dfs>,
     local: Arc<NodeLocalStore>,
     params: CostParams,
+    obs: Arc<Obs>,
 }
 
 impl Engine {
     pub fn new(dfs: Arc<Dfs>) -> Engine {
-        let nodes = dfs.cluster().num_workers();
-        Engine {
-            dfs,
-            local: Arc::new(NodeLocalStore::new(nodes)),
-            params: CostParams::paper(),
-        }
+        let params = CostParams::paper();
+        Engine::with_params(dfs, params)
     }
 
     pub fn with_params(dfs: Arc<Dfs>, params: CostParams) -> Engine {
@@ -191,7 +202,18 @@ impl Engine {
             dfs,
             local: Arc::new(NodeLocalStore::new(nodes)),
             params,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability hub; every job run afterwards records its
+    /// history, spans, and metrics there.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     pub fn dfs(&self) -> &Arc<Dfs> {
@@ -213,6 +235,11 @@ impl Engine {
 
     /// Run a job, making `client.cache` available to every task.
     pub fn run_job_with(&self, spec: &JobSpec, client: ClientArtifacts) -> Result<JobResult> {
+        let io_scope = if self.obs.is_enabled() {
+            Some(self.dfs.io_scope())
+        } else {
+            None
+        };
         let cluster = self.dfs.cluster().clone();
         let n = cluster.num_workers();
         let splits = spec.input.splits(&self.dfs, &spec.conf)?;
@@ -317,8 +344,22 @@ impl Engine {
             .map(|t| TaskProfile {
                 node: t.node,
                 cost: t.cost,
+                wall_ns: t.wall_ns,
             })
             .collect();
+        // Roll runner-attributed wall clock up to the job, in phase order.
+        let mut wall_phases: Vec<(Phase, u64)> = Vec::new();
+        for phase in Phase::all() {
+            let ns: u64 = task_outputs
+                .iter()
+                .flat_map(|t| &t.wall_phases)
+                .filter(|(p, _)| p == phase)
+                .map(|(_, ns)| ns)
+                .sum();
+            if ns > 0 {
+                wall_phases.push((*phase, ns));
+            }
+        }
         let total_map = map_tasks
             .iter()
             .fold(TaskCost::new(), |acc, t| acc.merge(&t.cost));
@@ -372,8 +413,11 @@ impl Engine {
 
             let reduce_nodes = scheduler::assign_reduce_tasks(num_reducers, &cluster);
             for (r, node) in reduce_nodes.iter().enumerate() {
-                let merged = shuffle::merge_sorted_runs(std::mem::take(&mut runs[r]));
+                let wall_start = Instant::now();
+                let task_runs = std::mem::take(&mut runs[r]);
                 let mut cost = TaskCost::new();
+                cost.merge_runs = task_runs.len() as u64;
+                let merged = shuffle::merge_sorted_runs(task_runs);
                 cost.deser_rows = merged.len() as u64;
                 let mut out_rows = Vec::new();
                 shuffle::reduce_sorted(&merged, &**reducer, &mut out_rows)?;
@@ -387,7 +431,11 @@ impl Engine {
                         output_files.push(path);
                     }
                 }
-                reduce_tasks.push(TaskProfile { node: *node, cost });
+                reduce_tasks.push(TaskProfile {
+                    node: *node,
+                    cost,
+                    wall_ns: wall_start.elapsed().as_nanos() as u64,
+                });
             }
         }
 
@@ -402,8 +450,13 @@ impl Engine {
             memory_per_slot: ledger.per_slot(),
             memory_shared: ledger.shared(),
             failed_attempts,
+            split_locality: scheduler::locality_fraction(&splits, &assignment),
+            wall_phases,
         };
         let cost = profile.price(&self.params, &cluster)?;
+        if self.obs.is_enabled() {
+            self.publish_job(&profile, &cost, &cluster, io_scope.as_ref());
+        }
         Ok(JobResult {
             rows,
             output_files,
@@ -411,6 +464,60 @@ impl Engine {
             cost,
             locality,
         })
+    }
+
+    /// Record the finished job into the observability hub: history + spans
+    /// plus the unified metrics (engine counters, scheduler locality, DFS
+    /// I/O attributed to this job via the scoped snapshot).
+    fn publish_job(
+        &self,
+        profile: &JobProfile,
+        cost: &crate::cost::JobCost,
+        cluster: &clyde_dfs::ClusterSpec,
+        io_scope: Option<&clyde_dfs::IoScope<'_>>,
+    ) {
+        let hist = history::job_history(profile, cost, &self.params, cluster);
+        let m = self.obs.metrics();
+        m.counter_add("mapred.jobs", 1);
+        m.counter_add("mapred.map_tasks", profile.map_tasks.len() as u64);
+        m.counter_add("mapred.reduce_tasks", profile.reduce_tasks.len() as u64);
+        m.counter_add("mapred.failed_attempts", u64::from(profile.failed_attempts));
+        m.counter_add("mapred.shuffle.bytes", profile.shuffle_bytes);
+
+        let total_map = profile.total_map_cost();
+        let total_reduce = profile.total_reduce_cost();
+        m.counter_add("mapred.emit.records", total_map.emit_records);
+        m.counter_add("mapred.emit.bytes", total_map.emit_bytes);
+        m.counter_add(
+            "mapred.combine.input_records",
+            total_map.combine_input_records,
+        );
+        m.counter_add(
+            "mapred.combine.output_records",
+            total_map.combine_output_records,
+        );
+        m.counter_add("mapred.shuffle.merged_runs", total_reduce.merge_runs);
+        m.counter_add("dfs.scan.local_bytes", total_map.local_bytes);
+        m.counter_add("dfs.scan.remote_bytes", total_map.remote_bytes);
+        m.counter_add("dfs.zone.checked", total_map.zone_checked);
+        m.counter_add("dfs.zone.skipped", total_map.zone_skipped);
+        if let Some(scope) = io_scope {
+            let delta = scope.delta();
+            m.counter_add("dfs.io.local_read_bytes", delta.total_local_read());
+            m.counter_add("dfs.io.remote_read_bytes", delta.total_remote_read());
+            m.counter_add("dfs.io.written_bytes", delta.total_written());
+        }
+        m.gauge_set("scheduler.split_locality", profile.split_locality);
+        m.gauge_set("mapred.scan_locality", hist.locality);
+        for t in &hist.tasks {
+            let name = match t.kind {
+                TaskKind::Map => "mapred.map_task_sim_s",
+                TaskKind::Reduce => "mapred.reduce_task_sim_s",
+            };
+            m.histogram_record(name, t.dur_s);
+            m.histogram_record("mapred.task_wall_ms", t.wall_ns as f64 / 1e6);
+        }
+        self.obs.record_job(hist);
     }
 }
 

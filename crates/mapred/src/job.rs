@@ -5,6 +5,7 @@ use crate::cost::{makespan, shuffle_time, CostParams, JobCost, TaskCost};
 use crate::input::InputFormat;
 use crate::runner::MapRunner;
 use crate::shuffle::Reducer;
+use clyde_common::obs::Phase;
 use clyde_common::{ClydeError, Result, Row};
 use clyde_dfs::{ClusterSpec, NodeId};
 use std::sync::Arc;
@@ -73,6 +74,10 @@ impl JobSpec {
 pub struct TaskProfile {
     pub node: NodeId,
     pub cost: TaskCost,
+    /// Wall-clock nanoseconds the in-process engine spent executing the
+    /// task. Observability-only: never feeds simulated time, and is zero for
+    /// extrapolated profiles.
+    pub wall_ns: u64,
 }
 
 /// Hardware-independent record of one job's execution, priceable against any
@@ -97,6 +102,11 @@ pub struct JobProfile {
     pub memory_shared: u64,
     /// Map-task attempts that failed and were retried (fault tolerance).
     pub failed_attempts: u32,
+    /// Fraction of splits the scheduler placed on a preferred host.
+    pub split_locality: f64,
+    /// Wall-clock nanoseconds per execution phase, summed across tasks
+    /// (reported by instrumented runners; observability-only).
+    pub wall_phases: Vec<(Phase, u64)>,
 }
 
 impl JobProfile {
@@ -190,6 +200,7 @@ impl JobProfile {
             .map(|i| TaskProfile {
                 node: NodeId((i as usize) % opts.cluster.num_workers()),
                 cost: per_map,
+                wall_ns: 0,
             })
             .collect();
 
@@ -201,11 +212,14 @@ impl JobProfile {
         } else {
             (opts.cluster.total_reduce_slots() as u64).max(1)
         };
-        let per_reduce = total_reduce.split(n_reduce.max(1));
+        let mut per_reduce = total_reduce.split(n_reduce.max(1));
+        // Each scaled reduce task merges one run per map task.
+        per_reduce.merge_runs = if n_reduce > 0 { n_map } else { 0 };
         let reduce_tasks = (0..n_reduce)
             .map(|i| TaskProfile {
                 node: NodeId((i as usize) % opts.cluster.num_workers()),
                 cost: per_reduce,
+                wall_ns: 0,
             })
             .collect();
 
@@ -221,6 +235,10 @@ impl JobProfile {
             memory_per_slot: sf(self.memory_per_slot, opts.dim_factor),
             memory_shared: sf(self.memory_shared, opts.dim_factor),
             failed_attempts: 0,
+            split_locality: self.split_locality,
+            // Wall-clock is a property of the measured run, not the
+            // extrapolated one.
+            wall_phases: Vec::new(),
         }
     }
 }
@@ -276,6 +294,7 @@ mod tests {
                 .map(|(i, cost)| TaskProfile {
                     node: NodeId(i % 2),
                     cost,
+                    wall_ns: 0,
                 })
                 .collect(),
             map_concurrency: concurrency,

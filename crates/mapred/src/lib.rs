@@ -29,6 +29,7 @@ pub mod cost;
 pub mod distcache;
 pub mod engine;
 pub mod formats;
+pub mod history;
 pub mod input;
 pub mod job;
 pub mod runner;
@@ -40,6 +41,7 @@ pub use conf::JobConf;
 pub use cost::{CostParams, JobCost, TaskCost};
 pub use distcache::DistCache;
 pub use engine::Engine;
+pub use history::job_history;
 pub use input::{BlockReader, InputFormat, InputSplit, Reader, RecordReader, SplitSpec};
 pub use job::{
     Extrapolation, JobProfile, JobResult, JobSpec, MapTaskScaling, OutputSpec, TaskProfile,

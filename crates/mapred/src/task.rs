@@ -6,6 +6,7 @@ use crate::cost::TaskCost;
 use crate::distcache::DistCache;
 use crate::input::{InputFormat, InputSplit};
 use bytes::Bytes;
+use clyde_common::obs::Phase;
 use clyde_common::{keycodec, ClydeError, FxHashMap, Result, Row};
 use clyde_dfs::{Dfs, NodeId, NodeLocalStore, ScanStats};
 use parking_lot::Mutex;
@@ -243,9 +244,19 @@ pub struct MapTaskContext<'a> {
     pub dist_cache: Arc<DistCache>,
     pub out: Arc<MapOutputBuffer>,
     pub cost: Arc<Mutex<TaskCost>>,
+    /// Wall-clock nanoseconds runners attribute to execution phases
+    /// (hash-build, probe, emit). Observability-only; never affects
+    /// simulated time.
+    pub wall_phases: Mutex<Vec<(Phase, u64)>>,
 }
 
 impl MapTaskContext<'_> {
+    /// Attribute measured wall-clock time to an execution phase.
+    pub fn note_wall_phase(&self, phase: Phase, nanos: u64) {
+        if nanos > 0 {
+            self.wall_phases.lock().push((phase, nanos));
+        }
+    }
     /// Emit a map-output record, updating the task's counters.
     pub fn emit(&self, key: &Row, value: Row) {
         let bytes = (key.heap_size() + value.heap_size()) as u64;

@@ -6,9 +6,11 @@
 //! the calibrated cost model. With `--trace`, every measured job's timeline
 //! is written as Perfetto-loadable Chrome trace JSON.
 
-use clyde_bench::harness::{measure_with_obs, Extrapolator, MeasureWhat, MeasurementConfig};
+use clyde_bench::harness::{
+    fault_impact, measure_with_obs, Extrapolator, MeasureWhat, MeasurementConfig,
+};
 use clyde_bench::paper;
-use clyde_bench::report::{render_table, secs, speedup};
+use clyde_bench::report::{render_fault_impact, render_table, secs, speedup};
 use clyde_dfs::ClusterSpec;
 use clyde_hive::JoinStrategy;
 use std::sync::Arc;
@@ -96,4 +98,14 @@ fn main() {
             .map(|qm| qm.query.id.as_str())
             .collect::<Vec<_>>()
     );
+
+    if let Some(seed) = args.faults {
+        eprintln!("\nre-running all 13 queries under the `combined` fault plan (seed {seed})...");
+        let impacts = fault_impact(&config, seed).expect("fault impact run failed");
+        println!(
+            "\nFault impact (combined plan, seed {seed}, measurement scale SF {sf}): \
+             every answer identical to the fault-free run\n"
+        );
+        println!("{}", render_fault_impact(&impacts));
+    }
 }

@@ -13,6 +13,10 @@ pub struct BenchArgs {
     pub sf: f64,
     /// Where to write the Chrome trace, if requested.
     pub trace: Option<String>,
+    /// Seed for the `combined` fault plan: run the figure's queries a second
+    /// time under injected faults and report the recovery actions and the
+    /// simulated cost of the wasted work.
+    pub faults: Option<u64>,
 }
 
 impl BenchArgs {
@@ -39,6 +43,7 @@ pub fn parse(bin: &str, default_sf: f64) -> BenchArgs {
     let mut out = BenchArgs {
         sf: default_sf,
         trace: None,
+        faults: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -46,6 +51,10 @@ pub fn parse(bin: &str, default_sf: f64) -> BenchArgs {
             "--trace" => match args.next() {
                 Some(path) => out.trace = Some(path),
                 None => usage(bin, "--trace needs a file path"),
+            },
+            "--faults" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(seed) => out.faults = Some(seed),
+                None => usage(bin, "--faults needs an integer seed"),
             },
             "--help" | "-h" => usage(bin, ""),
             other => match other.parse::<f64>() {
@@ -61,6 +70,6 @@ fn usage(bin: &str, err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: {bin} [measurement-sf] [--trace <out.json>]");
+    eprintln!("usage: {bin} [measurement-sf] [--trace <out.json>] [--faults <seed>]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -3,7 +3,7 @@
 use clyde_common::{Obs, Result};
 use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions, IoSnapshot};
 use clyde_hive::{Hive, JoinStrategy};
-use clyde_mapred::{CostParams, Extrapolation, JobProfile, MapTaskScaling};
+use clyde_mapred::{CostParams, Extrapolation, FaultPlan, JobProfile, MapTaskScaling};
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::loader::{self, SsbLayout};
 use clyde_ssb::queries::StarQuery;
@@ -247,6 +247,193 @@ pub fn measure_with_obs(
         queries,
         rc_fact_bytes,
     })
+}
+
+/// One cell of the CI fault matrix: a query executed under a named seeded
+/// fault plan on a freshly loaded cluster, compared byte-for-byte against an
+/// identically loaded fault-free run.
+#[derive(Debug)]
+pub struct FaultCell {
+    pub plan: String,
+    /// Result bytes are identical to the fault-free run's.
+    pub identical: bool,
+    pub rows: usize,
+    /// Profile of the faulted run (recovery actions live here).
+    pub profile: JobProfile,
+    /// Simulated seconds of the faulted run, minus the fault-free run's —
+    /// the cost-model price of recovery (slow nodes + wasted backups).
+    pub overhead_s: f64,
+    /// Checksum mismatches detected (and masked) during the faulted run.
+    pub corrupt_reads: u64,
+    /// Simulated seconds burnt by killed speculative-loser attempts.
+    pub wasted_s: f64,
+}
+
+impl FaultCell {
+    /// True when at least one recovery mechanism demonstrably fired.
+    pub fn recovered_something(&self) -> bool {
+        self.profile.failed_attempts > 0
+            || self.profile.speculative_attempts > 0
+            || !self.profile.dead_nodes.is_empty()
+            || self.profile.rereplicated_blocks > 0
+            || self.corrupt_reads > 0
+    }
+}
+
+/// Run one query twice — fault-free and under the named plan — on two
+/// identically loaded fresh clusters (fault plans mutate DFS state, so the
+/// baseline must not share a cluster with the faulted run), and compare the
+/// serialized results byte for byte.
+pub fn run_fault_cell(
+    config: &MeasurementConfig,
+    query: &StarQuery,
+    plan: &str,
+    seed: u64,
+) -> Result<FaultCell> {
+    let faults = FaultPlan::named(plan, seed).unwrap_or_else(|| {
+        panic!(
+            "unknown fault plan `{plan}` (expected one of {:?})",
+            clyde_mapred::fault::NAMES
+        )
+    });
+    let run = |faults: Option<FaultPlan>| -> Result<(Vec<u8>, JobProfile, usize, f64, u64)> {
+        let cluster = measurement_cluster(config.workers);
+        let dfs = Dfs::new(
+            cluster,
+            DfsOptions {
+                block_size: 8 << 20,
+                replication: 3,
+                policy: Box::new(ColocatingPlacement),
+            },
+        );
+        let layout = SsbLayout::default();
+        loader::load(
+            &dfs,
+            SsbGen::new(config.sf, config.seed),
+            &layout,
+            &loader::LoadOpts {
+                rows_per_group: config.rows_per_group,
+                cif: true,
+                rcfile: false,
+                text: false,
+                cluster_by_date: true,
+            },
+        )?;
+        let mut clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+        if let Some(f) = faults {
+            clyde = clyde.with_faults(Arc::new(f));
+        }
+        clyde.warm_dimension_cache()?;
+        let scope = dfs.io_scope();
+        let r = clyde.query(query)?;
+        let corrupt = scope.delta().total_corrupt_reads();
+        let total_s = r.total_s();
+        Ok((
+            clyde_common::rowcodec::write_rows(&r.rows),
+            r.profile,
+            r.rows.len(),
+            total_s,
+            corrupt,
+        ))
+    };
+    let (clean_bytes, _, _, clean_s, _) = run(None)?;
+    let (fault_bytes, profile, rows, fault_s, corrupt_reads) = run(Some(faults))?;
+    let wasted_s = profile.killed_attempts.iter().map(|k| k.busy_s).sum();
+    Ok(FaultCell {
+        plan: plan.to_string(),
+        identical: clean_bytes == fault_bytes,
+        rows,
+        profile,
+        overhead_s: fault_s - clean_s,
+        corrupt_reads,
+        wasted_s,
+    })
+}
+
+/// Per-query outcome of a figure binary's `--faults <seed>` pass.
+#[derive(Debug)]
+pub struct FaultImpact {
+    pub query_id: String,
+    /// Simulated seconds of the fault-free run at measurement scale.
+    pub clean_s: f64,
+    /// Simulated seconds under the `combined` fault plan.
+    pub faulted_s: f64,
+    pub failed_attempts: u32,
+    pub speculative_attempts: u32,
+    pub speculative_wins: u32,
+    pub dead_nodes: usize,
+    pub rereplicated_blocks: u64,
+    /// Simulated seconds burnt by killed speculative-loser attempts.
+    pub wasted_s: f64,
+}
+
+/// Run every SSB query fault-free and under the `combined` plan (two
+/// identically loaded clusters), asserting the answers stay identical, and
+/// report the per-query degradation the cost model attributes to recovery.
+/// The faulted cluster degrades cumulatively — a node killed by one query's
+/// plan stays dead for the next — which is exactly how a real cluster looks
+/// to a sequence of jobs.
+pub fn fault_impact(config: &MeasurementConfig, seed: u64) -> Result<Vec<FaultImpact>> {
+    let build = || -> Result<(Arc<Dfs>, SsbLayout)> {
+        let dfs = Dfs::new(
+            measurement_cluster(config.workers),
+            DfsOptions {
+                block_size: 8 << 20,
+                replication: 3,
+                policy: Box::new(ColocatingPlacement),
+            },
+        );
+        let layout = SsbLayout::default();
+        loader::load(
+            &dfs,
+            SsbGen::new(config.sf, config.seed),
+            &layout,
+            &loader::LoadOpts {
+                rows_per_group: config.rows_per_group,
+                cif: true,
+                rcfile: false,
+                text: false,
+                cluster_by_date: true,
+            },
+        )?;
+        Ok((dfs, layout))
+    };
+    let (clean_dfs, clean_layout) = build()?;
+    let clean = Clydesdale::new(clean_dfs, clean_layout);
+    clean.warm_dimension_cache()?;
+    let (fault_dfs, fault_layout) = build()?;
+    let plan = FaultPlan::named("combined", seed).expect("combined is a known plan");
+    let faulted = Clydesdale::new(fault_dfs, fault_layout).with_faults(Arc::new(plan));
+    faulted.warm_dimension_cache()?;
+
+    let mut out = Vec::with_capacity(13);
+    for query in all_queries() {
+        let c = clean.query(&query)?;
+        let f = faulted.query(&query)?;
+        assert_eq!(
+            c.rows, f.rows,
+            "{}: recovery must be transparent under faults",
+            query.id
+        );
+        let p = &f.profile;
+        out.push(FaultImpact {
+            query_id: query.id.clone(),
+            clean_s: c.total_s(),
+            faulted_s: f.total_s(),
+            failed_attempts: p.failed_attempts,
+            speculative_attempts: p.speculative_attempts,
+            speculative_wins: p.speculative_wins,
+            dead_nodes: p.dead_nodes.len(),
+            rereplicated_blocks: p.rereplicated_blocks,
+            wasted_s: p
+                .killed_attempts
+                .iter()
+                .map(|k| k.busy_s)
+                .sum::<f64>()
+                .max(0.0),
+        });
+    }
+    Ok(out)
 }
 
 /// Scales measured profiles to a target (cluster, SF) and prices them.

@@ -51,6 +51,34 @@ pub fn speedup(v: f64) -> String {
     format!("{v:.1}x")
 }
 
+/// Render the `--faults <seed>` degradation table shared by fig7/fig8:
+/// per-query recovery actions and the simulated seconds they cost.
+pub fn render_fault_impact(impacts: &[crate::harness::FaultImpact]) -> String {
+    let rows: Vec<Vec<String>> = impacts
+        .iter()
+        .map(|i| {
+            vec![
+                i.query_id.clone(),
+                secs(i.clean_s),
+                secs(i.faulted_s),
+                format!("{:+.1}s", i.faulted_s - i.clean_s),
+                i.failed_attempts.to_string(),
+                format!("{}/{}", i.speculative_wins, i.speculative_attempts),
+                i.dead_nodes.to_string(),
+                i.rereplicated_blocks.to_string(),
+                secs(i.wasted_s),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "query", "clean", "faulted", "overhead", "retries", "spec w/l", "dead", "rerepl",
+            "wasted",
+        ],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -117,6 +117,9 @@ pub struct TaskLane {
     /// Measured wall-clock nanoseconds the in-process engine actually spent
     /// executing this task. Reported in summaries, excluded from traces.
     pub wall_ns: u64,
+    /// Whether this lane is a speculative backup attempt (either the winner
+    /// of the commit race or a killed loser occupying its slot).
+    pub speculative: bool,
     pub phases: Vec<PhaseSlice>,
 }
 
@@ -236,6 +239,16 @@ pub struct JobHistory {
     /// Fraction of splits the scheduler placed on a preferred host.
     pub split_locality: f64,
     pub failed_attempts: u32,
+    /// Backup attempts launched by speculative execution.
+    pub speculative_attempts: u32,
+    /// Backup attempts that won the commit race.
+    pub speculative_wins: u32,
+    /// Nodes blacklisted for retries after repeated attempt failures.
+    pub blacklisted_nodes: u32,
+    /// Nodes the heartbeat detector declared dead mid-job.
+    pub dead_nodes: u32,
+    /// Block replicas re-created by namenode-driven re-replication.
+    pub rereplicated_blocks: u64,
     /// Wall-clock nanoseconds per phase, summed across tasks (from the
     /// in-process runners; empty when the engine recorded none).
     pub wall_phases: Vec<(Phase, u64)>,
@@ -304,6 +317,20 @@ impl JobHistory {
             self.split_locality * 100.0,
             self.failed_attempts
         ));
+        if self.speculative_attempts > 0
+            || self.blacklisted_nodes > 0
+            || self.dead_nodes > 0
+            || self.rereplicated_blocks > 0
+        {
+            out.push_str(&format!(
+                "  recovery: {} speculative attempts ({} won); {} blacklisted, {} dead nodes; {} blocks re-replicated\n",
+                self.speculative_attempts,
+                self.speculative_wins,
+                self.blacklisted_nodes,
+                self.dead_nodes,
+                self.rereplicated_blocks
+            ));
+        }
         for kind in [TaskKind::Map, TaskKind::Reduce] {
             if let Some(s) = self.stragglers(kind) {
                 out.push_str(&format!(
@@ -390,6 +417,7 @@ mod tests {
             emit_records: emit_bytes / 10,
             emit_bytes,
             wall_ns: 1000,
+            speculative: false,
             phases: vec![PhaseSlice {
                 phase: Phase::Scan,
                 start_s: 0.0,

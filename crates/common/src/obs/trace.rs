@@ -54,7 +54,10 @@ pub fn record_job(rec: &SpanRecorder, h: &JobHistory) -> Option<(u32, SpanId)> {
             ("scan_locality".into(), format!("{:.4}", h.locality)),
             ("split_locality".into(), format!("{:.4}", h.split_locality)),
             ("failed_attempts".into(), h.failed_attempts.to_string()),
-        ],
+        ]
+        .into_iter()
+        .chain(recovery_args(h))
+        .collect(),
     )?;
 
     // Stage band on the job lane: setup | map | shuffle | reduce | overhead.
@@ -102,10 +105,15 @@ pub fn record_job(rec: &SpanRecorder, h: &JobHistory) -> Option<(u32, SpanId)> {
         let parent = stage_ids.get(&task.kind).copied().or(Some(root));
         let t_start = us(task.start_s);
         let t_dur = us(task.finish_s()).saturating_sub(t_start);
+        let name = if task.speculative {
+            format!("{} {} (backup)", task.kind.label(), task.index)
+        } else {
+            format!("{} {}", task.kind.label(), task.index)
+        };
         let tspan = rec.span(
             parent,
             SpanKind::Task,
-            &format!("{} {}", task.kind.label(), task.index),
+            &name,
             pid,
             tid,
             t_start,
@@ -137,6 +145,32 @@ pub fn record_job(rec: &SpanRecorder, h: &JobHistory) -> Option<(u32, SpanId)> {
         }
     }
     Some((pid, root))
+}
+
+/// Recovery-action args for the job span, emitted only when an action
+/// actually fired so clean-run traces are byte-identical to before.
+fn recovery_args(h: &JobHistory) -> Vec<(String, String)> {
+    let mut args = Vec::new();
+    if h.speculative_attempts > 0 {
+        args.push((
+            "speculative_attempts".into(),
+            h.speculative_attempts.to_string(),
+        ));
+        args.push(("speculative_wins".into(), h.speculative_wins.to_string()));
+    }
+    if h.blacklisted_nodes > 0 {
+        args.push(("blacklisted_nodes".into(), h.blacklisted_nodes.to_string()));
+    }
+    if h.dead_nodes > 0 {
+        args.push(("dead_nodes".into(), h.dead_nodes.to_string()));
+    }
+    if h.rereplicated_blocks > 0 {
+        args.push((
+            "rereplicated_blocks".into(),
+            h.rereplicated_blocks.to_string(),
+        ));
+    }
+    args
 }
 
 fn task_args(task: &TaskLane) -> Vec<(String, String)> {
@@ -246,6 +280,7 @@ mod tests {
             emit_records: 5,
             emit_bytes: 50,
             wall_ns: 123,
+            speculative: false,
             phases: vec![
                 PhaseSlice {
                     phase: Phase::Setup,
@@ -306,6 +341,31 @@ mod tests {
         }
         // Lanes: job lane 0 plus one lane per (node, slot).
         assert_eq!(rec.threads().len(), 3);
+    }
+
+    #[test]
+    fn recovery_actions_appear_in_job_args_and_backup_lanes() {
+        let mut h = sample_history();
+        h.speculative_attempts = 2;
+        h.speculative_wins = 1;
+        h.rereplicated_blocks = 3;
+        h.tasks[1].speculative = true;
+        let rec = SpanRecorder::enabled();
+        let (_, root) = record_job(&rec, &h).unwrap();
+        let spans = rec.spans();
+        let job = &spans[root.0 as usize];
+        let arg = |k: &str| {
+            job.args
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(arg("speculative_attempts").as_deref(), Some("2"));
+        assert_eq!(arg("speculative_wins").as_deref(), Some("1"));
+        assert_eq!(arg("rereplicated_blocks").as_deref(), Some("3"));
+        assert_eq!(arg("blacklisted_nodes"), None, "zero counters stay absent");
+        assert!(spans.iter().any(|s| s.name == "map 1 (backup)"));
+        assert!(spans.iter().any(|s| s.name == "map 0"));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::planner::plan_query;
 use clyde_common::obs::{us, Obs, SpanKind};
 use clyde_common::{Result, Row};
 use clyde_dfs::Dfs;
-use clyde_mapred::{CostParams, Engine, JobCost, JobProfile};
+use clyde_mapred::{CostParams, Engine, FaultPlan, JobCost, JobProfile};
 use clyde_ssb::loader::SsbLayout;
 use clyde_ssb::queries::StarQuery;
 use clyde_ssb::schema;
@@ -40,6 +40,7 @@ pub struct Clydesdale {
     engine: Engine,
     layout: SsbLayout,
     features: Features,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Clydesdale {
@@ -48,6 +49,7 @@ impl Clydesdale {
             engine: Engine::new(dfs),
             layout,
             features: Features::default(),
+            faults: None,
         }
     }
 
@@ -56,6 +58,7 @@ impl Clydesdale {
             engine: Engine::new(dfs),
             layout,
             features,
+            faults: None,
         }
     }
 
@@ -69,6 +72,7 @@ impl Clydesdale {
             engine: Engine::with_params(dfs, params),
             layout,
             features,
+            faults: None,
         }
     }
 
@@ -85,6 +89,18 @@ impl Clydesdale {
 
     pub fn obs(&self) -> &Arc<Obs> {
         self.engine.obs()
+    }
+
+    /// Attach a seeded fault plan (chainable): every query's MapReduce job
+    /// runs under the plan's injected failures, and recovery must keep the
+    /// results identical to a fault-free run.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Clydesdale {
+        self.faults = Some(faults);
+        self
+    }
+
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     pub fn engine(&self) -> &Engine {
@@ -199,12 +215,13 @@ impl Clydesdale {
     /// Execute a star query end to end: one MapReduce job (join + group-by
     /// aggregation) followed by a single-process ORDER BY sort.
     pub fn query(&self, query: &StarQuery) -> Result<QueryResult> {
-        let spec = plan_query(
+        let mut spec = plan_query(
             query,
             &self.layout,
             self.features,
             self.engine.dfs().cluster(),
         )?;
+        spec.faults = self.faults.clone();
         let result = self.engine.run_job(&spec)?;
         let mut rows = result.rows;
         query.finish_result(&mut rows);
@@ -247,11 +264,15 @@ mod tests {
     use clyde_ssb::{all_queries, loader, query_by_id, reference_answer};
 
     fn setup(sf: f64, nodes: usize) -> (Arc<Dfs>, SsbLayout, SsbGen) {
+        setup_replicated(sf, nodes, 2)
+    }
+
+    fn setup_replicated(sf: f64, nodes: usize, replication: u32) -> (Arc<Dfs>, SsbLayout, SsbGen) {
         let dfs = Dfs::new(
             ClusterSpec::tiny(nodes),
             DfsOptions {
                 block_size: 1 << 20,
-                replication: 2,
+                replication,
                 policy: Box::new(ColocatingPlacement),
             },
         );
@@ -438,6 +459,23 @@ mod tests {
         let result = clyde.query(&q).unwrap();
         let expect = reference_answer(&gen.gen_all(), &q).unwrap();
         assert_eq!(result.rows, expect);
+    }
+
+    #[test]
+    fn faulted_query_matches_fault_free_run() {
+        // Recovery transparency end to end: a query under an aggressive
+        // seeded fault plan returns byte-identical rows to the reference.
+        // Replication 3: the combined plan corrupts a replica of every block
+        // AND kills a node, so two copies are not guaranteed to survive.
+        let (dfs, layout, gen) = setup_replicated(0.005, 3, 3);
+        let q = query_by_id("Q2.1").unwrap();
+        let expect = reference_answer(&gen.gen_all(), &q).unwrap();
+        let mut plan = FaultPlan::named("combined", 46).unwrap();
+        plan.task_fail_rate = 1.0; // force at least one recovery action
+        let clyde = Clydesdale::new(Arc::clone(&dfs), layout).with_faults(Arc::new(plan));
+        let result = clyde.query(&q).unwrap();
+        assert_eq!(result.rows, expect);
+        assert!(result.profile.failed_attempts >= 1);
     }
 
     #[test]

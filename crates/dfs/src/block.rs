@@ -1,6 +1,16 @@
 //! Block identifiers and metadata.
 
 use crate::topology::NodeId;
+use std::hash::Hasher;
+
+/// Content checksum for a block payload, computed with the same FxHash the
+/// rest of the stack uses — cheap enough to verify on every replica read,
+/// which is how the datanode detects injected (or real) bit rot.
+pub fn block_checksum(data: &[u8]) -> u64 {
+    let mut h = clyde_common::hash::FxHasher::default();
+    h.write(data);
+    h.finish()
+}
 
 /// Globally unique block identifier, allocated by the namenode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -14,6 +24,9 @@ pub struct BlockMeta {
     pub len: u64,
     /// Datanodes currently holding a replica, in placement order.
     pub replicas: Vec<NodeId>,
+    /// Checksum of the payload at write time ([`block_checksum`]); replica
+    /// reads are verified against it before being served.
+    pub checksum: u64,
 }
 
 impl BlockMeta {
@@ -33,6 +46,7 @@ mod tests {
             id: BlockId(1),
             len: 10,
             replicas: vec![NodeId(0), NodeId(2)],
+            checksum: 0,
         };
         assert!(m.is_local_to(NodeId(0)));
         assert!(m.is_local_to(NodeId(2)));

@@ -44,6 +44,23 @@ impl Datanode {
         self.alive
     }
 
+    /// Flip the first byte of a stored replica (fault injection). Because
+    /// replicas share one `Bytes` allocation, the corrupted copy is written
+    /// into a *fresh* buffer so the other datanodes keep the good bytes.
+    /// Returns false when the replica is absent or empty.
+    pub fn corrupt(&mut self, id: BlockId) -> bool {
+        let Some(data) = self.blocks.get(&id) else {
+            return false;
+        };
+        if data.is_empty() {
+            return false;
+        }
+        let mut bad = data.to_vec();
+        bad[0] ^= 0xff;
+        self.blocks.insert(id, Bytes::from(bad));
+        true
+    }
+
     /// Simulate a node failure: all local replicas are lost.
     pub fn kill(&mut self) {
         self.alive = false;
@@ -91,6 +108,20 @@ mod tests {
         assert!(dn.is_alive());
         assert!(dn.get(BlockId(1)).is_none());
         assert_eq!(dn.used_bytes(), 0);
+    }
+
+    #[test]
+    fn corrupt_flips_a_byte_without_touching_shared_buffers() {
+        let mut dn = Datanode::new();
+        let original = Bytes::from_static(b"good");
+        dn.store(BlockId(1), original.clone());
+        assert!(dn.corrupt(BlockId(1)));
+        assert_ne!(dn.get(BlockId(1)).unwrap(), original);
+        // The shared allocation other replicas point at is untouched.
+        assert_eq!(original, Bytes::from_static(b"good"));
+        assert!(!dn.corrupt(BlockId(9)));
+        dn.store(BlockId(2), Bytes::new());
+        assert!(!dn.corrupt(BlockId(2)));
     }
 
     #[test]

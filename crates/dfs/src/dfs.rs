@@ -1,6 +1,6 @@
 //! The distributed-filesystem facade.
 
-use crate::block::BlockId;
+use crate::block::{block_checksum, BlockId, BlockMeta};
 use crate::datanode::Datanode;
 use crate::metrics::{IoMetrics, IoSnapshot, ScanStats};
 use crate::namenode::{FileEntry, Namenode};
@@ -203,9 +203,10 @@ impl Dfs {
         if fixed.is_empty() {
             fixed.push(alive[0]);
         }
-        let id = state
-            .namenode
-            .allocate_block(data.len() as u64, fixed.clone());
+        let id =
+            state
+                .namenode
+                .allocate_block(data.len() as u64, fixed.clone(), block_checksum(&data));
         for node in &fixed {
             state.datanodes[node.0].store(id, data.clone());
             self.metrics.record_write(*node, data.len() as u64);
@@ -247,6 +248,20 @@ impl Dfs {
         Ok(Bytes::from(out))
     }
 
+    /// Fetch one replica of `meta` from `node` and verify it against the
+    /// namenode checksum. A failed verification is recorded as a corrupt
+    /// read and the replica is treated as unavailable, so the caller falls
+    /// through to the next one — the HDFS client's checksum-and-retry path.
+    fn verified(&self, state: &State, meta: &BlockMeta, node: NodeId) -> Option<Bytes> {
+        let data = state.datanodes[node.0].get(meta.id)?;
+        if block_checksum(&data) == meta.checksum {
+            Some(data)
+        } else {
+            self.metrics.record_corrupt_read(node);
+            None
+        }
+    }
+
     /// Locate and return a block's payload, preferring a replica on the
     /// reading node (HDFS short-circuit read). Returns whether the read was
     /// local. Does **not** account the bytes — callers do, so range reads
@@ -260,19 +275,23 @@ impl Dfs {
         let meta = state.namenode.block(block)?;
         if let Some(r) = reader {
             if meta.is_local_to(r) {
-                if let Some(data) = state.datanodes[r.0].get(block) {
+                if let Some(data) = self.verified(state, meta, r) {
                     return Ok((data, true));
                 }
             }
         }
-        // Otherwise the first alive replica serves it over the network.
+        // Otherwise the first alive, checksum-clean replica serves it over
+        // the network (skipping the reader, which was already tried above).
         for &rep in &meta.replicas {
-            if let Some(data) = state.datanodes[rep.0].get(block) {
+            if Some(rep) == reader {
+                continue;
+            }
+            if let Some(data) = self.verified(state, meta, rep) {
                 return Ok((data, false));
             }
         }
         Err(ClydeError::Dfs(format!(
-            "all replicas of block {block:?} are unavailable"
+            "all replicas of block {block:?} are unavailable or corrupt"
         )))
     }
 
@@ -434,6 +453,63 @@ impl Dfs {
         self.state.write().datanodes[node.0].restart();
     }
 
+    /// Whether `node` is currently serving (heartbeating, in Hadoop terms).
+    pub fn is_node_alive(&self, node: NodeId) -> bool {
+        let state = self.state.read();
+        node.0 < state.datanodes.len() && state.datanodes[node.0].is_alive()
+    }
+
+    /// Deterministically corrupt up to `count` block replicas (fault
+    /// injection). Only blocks with at least two live replicas are eligible,
+    /// so a corrupted replica always has a clean sibling and checksum
+    /// verification plus replica fallback can mask it. The victim is always
+    /// the block's *first* live replica — the placement-preferred copy a
+    /// locality-scheduled reader fetches — so the corruption is guaranteed to
+    /// sit on a read path rather than rotting unread. Victim blocks are
+    /// chosen by hashing `seed`, so the same seed always rots the same bytes.
+    /// Returns how many replicas were actually corrupted.
+    pub fn inject_corruption(&self, seed: u64, count: u32) -> usize {
+        fn mix64(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        if count == 0 {
+            return 0;
+        }
+        let mut state = self.state.write();
+        let State {
+            namenode,
+            datanodes,
+        } = &mut *state;
+        let mut candidates: Vec<(u64, BlockId, usize)> = Vec::new();
+        for meta in namenode.all_blocks_mut() {
+            if meta.len == 0 {
+                continue;
+            }
+            let live: Vec<NodeId> = meta
+                .replicas
+                .iter()
+                .copied()
+                .filter(|r| datanodes[r.0].has(meta.id))
+                .collect();
+            if live.len() < 2 {
+                continue;
+            }
+            let h = mix64(seed ^ mix64(meta.id.0));
+            candidates.push((h, meta.id, live[0].0));
+        }
+        candidates.sort_by_key(|&(h, id, _)| (h, id));
+        let mut corrupted = 0usize;
+        for (_, id, victim) in candidates.into_iter().take(count as usize) {
+            if datanodes[victim].corrupt(id) {
+                corrupted += 1;
+            }
+        }
+        corrupted
+    }
+
     /// Restore full replication after failures by copying blocks from
     /// surviving replicas onto alive nodes, preferring the policy's original
     /// choice. Returns the number of new replicas created.
@@ -446,18 +522,30 @@ impl Dfs {
         }
         let mut created = 0usize;
         // Collect the work under the namenode first to satisfy borrowck.
-        let mut work: Vec<(BlockId, Vec<NodeId>)> = Vec::new();
+        let mut work: Vec<(BlockId, Vec<NodeId>, u64)> = Vec::new();
         for meta in state.namenode.all_blocks_mut() {
-            work.push((meta.id, meta.replicas.clone()));
+            work.push((meta.id, meta.replicas.clone(), meta.checksum));
         }
-        for (id, replicas) in work {
+        for (id, replicas, checksum) in work {
+            // Only checksum-clean survivors may act as sources — copying an
+            // unverified replica would propagate corruption cluster-wide.
             let live_replicas: Vec<NodeId> = replicas
                 .iter()
                 .copied()
-                .filter(|r| state.datanodes[r.0].has(id))
+                .filter(|r| {
+                    state.datanodes[r.0]
+                        .get(id)
+                        .is_some_and(|d| block_checksum(&d) == checksum)
+                })
                 .collect();
             if live_replicas.is_empty() {
                 continue; // data lost; read_file will surface the error
+            }
+            // Scrub: drop replicas that exist but fail verification.
+            for &r in &replicas {
+                if state.datanodes[r.0].has(id) && !live_replicas.contains(&r) {
+                    state.datanodes[r.0].free(id);
+                }
             }
             let want = (self.replication as usize).min(alive.len());
             let mut new_replicas = live_replicas.clone();
@@ -763,6 +851,87 @@ mod tests {
         assert_eq!(dfs.list("/d/"), vec!["/d/a", "/d/b"]);
         assert_eq!(dfs.hosts("/d/a").unwrap().len(), 2);
         assert!(dfs.hosts("/nope").is_err());
+    }
+
+    #[test]
+    fn corruption_is_masked_by_checksum_fallback() {
+        let dfs = small_dfs(3, 2, 1024);
+        let data = vec![42u8; 100];
+        dfs.write_file("/f", None, &data).unwrap();
+        assert_eq!(dfs.inject_corruption(46, 1), 1);
+        // Every node — including the one holding the rotten replica — still
+        // reads the original bytes, because the checksum rejects the bad
+        // copy and the read falls through to a clean sibling.
+        dfs.reset_metrics();
+        for n in 0..3 {
+            assert_eq!(
+                &dfs.read_file("/f", Some(NodeId(n))).unwrap()[..],
+                &data[..]
+            );
+        }
+        assert!(
+            dfs.metrics().total_corrupt_reads() >= 1,
+            "the victim's local read must have tripped verification"
+        );
+    }
+
+    #[test]
+    fn corruption_with_no_clean_sibling_is_unreadable() {
+        let dfs = small_dfs(3, 2, 1024);
+        let data = vec![7u8; 64];
+        dfs.write_file("/f", None, &data).unwrap();
+        assert_eq!(dfs.inject_corruption(46, 1), 1);
+        // Identify the victim: its local read bumps the corrupt counter.
+        let victim = (0..3)
+            .find(|&n| {
+                let before = dfs.metrics().total_corrupt_reads();
+                let _ = dfs.read_file("/f", Some(NodeId(n)));
+                dfs.metrics().total_corrupt_reads() > before
+            })
+            .expect("one node holds the corrupted replica");
+        // Kill every clean holder; only the corrupt copy remains.
+        for h in dfs.hosts("/f").unwrap() {
+            if h.0 != victim {
+                dfs.kill_node(h);
+            }
+        }
+        let err = dfs.read_file("/f", Some(NodeId(victim))).unwrap_err();
+        assert!(err.to_string().contains("unavailable or corrupt"), "{err}");
+    }
+
+    #[test]
+    fn rereplicate_heals_corruption_without_propagating_it() {
+        let dfs = small_dfs(4, 2, 1024);
+        let data = vec![13u8; 200];
+        dfs.write_file("/f", None, &data).unwrap();
+        assert_eq!(dfs.inject_corruption(46, 1), 1);
+        // The scrub drops the rotten replica and restores replication from a
+        // verified source.
+        assert!(dfs.rereplicate().unwrap() >= 1);
+        dfs.reset_metrics();
+        for n in 0..4 {
+            assert_eq!(
+                &dfs.read_file("/f", Some(NodeId(n))).unwrap()[..],
+                &data[..]
+            );
+        }
+        assert_eq!(
+            dfs.metrics().total_corrupt_reads(),
+            0,
+            "no corrupt replica may survive a rereplication pass"
+        );
+    }
+
+    #[test]
+    fn node_liveness_is_observable() {
+        let dfs = small_dfs(2, 1, 1024);
+        assert!(dfs.is_node_alive(NodeId(0)));
+        dfs.kill_node(NodeId(0));
+        assert!(!dfs.is_node_alive(NodeId(0)));
+        assert!(dfs.is_node_alive(NodeId(1)));
+        assert!(!dfs.is_node_alive(NodeId(7)));
+        dfs.restart_node(NodeId(0));
+        assert!(dfs.is_node_alive(NodeId(0)));
     }
 
     #[test]

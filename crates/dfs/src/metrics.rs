@@ -20,6 +20,8 @@ struct NodeIo {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
     pub per_node: Vec<IoNodeSnapshot>,
+    /// Replica reads rejected by checksum verification (cluster-wide).
+    pub corrupt_reads: u64,
 }
 
 /// One node's totals within an [`IoSnapshot`].
@@ -48,6 +50,10 @@ impl IoSnapshot {
         self.per_node.iter().map(|n| n.written).sum()
     }
 
+    pub fn total_corrupt_reads(&self) -> u64 {
+        self.corrupt_reads
+    }
+
     /// Fraction of read bytes served from a local replica (1.0 = perfect
     /// locality). Returns 1.0 when nothing was read.
     pub fn locality_ratio(&self) -> f64 {
@@ -69,7 +75,10 @@ impl IoSnapshot {
                 n.written -= e.written;
             }
         }
-        IoSnapshot { per_node }
+        IoSnapshot {
+            per_node,
+            corrupt_reads: self.corrupt_reads.saturating_sub(earlier.corrupt_reads),
+        }
     }
 }
 
@@ -136,12 +145,14 @@ impl ScanStats {
 #[derive(Debug)]
 pub struct IoMetrics {
     nodes: Mutex<Vec<NodeIo>>,
+    corrupt_reads: std::sync::atomic::AtomicU64,
 }
 
 impl IoMetrics {
     pub fn new(num_nodes: usize) -> IoMetrics {
         IoMetrics {
             nodes: Mutex::new(vec![NodeIo::default(); num_nodes]),
+            corrupt_reads: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -157,6 +168,13 @@ impl IoMetrics {
         self.nodes.lock()[node.0].written += bytes;
     }
 
+    /// A replica read failed checksum verification on `_node` and was
+    /// rejected before being served.
+    pub fn record_corrupt_read(&self, _node: NodeId) {
+        self.corrupt_reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> IoSnapshot {
         let nodes = self.nodes.lock();
         IoSnapshot {
@@ -170,6 +188,9 @@ impl IoMetrics {
                     written: n.written,
                 })
                 .collect(),
+            corrupt_reads: self
+                .corrupt_reads
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -177,6 +198,8 @@ impl IoMetrics {
         for n in self.nodes.lock().iter_mut() {
             *n = NodeIo::default();
         }
+        self.corrupt_reads
+            .store(0, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Open a scoped snapshot: `delta()` reports only the I/O performed
@@ -246,6 +269,18 @@ mod tests {
         m.record_local_read(NodeId(0), 7);
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.total_local_read(), 7);
+    }
+
+    #[test]
+    fn corrupt_reads_are_counted_and_scoped() {
+        let m = IoMetrics::new(2);
+        m.record_corrupt_read(NodeId(1));
+        let before = m.snapshot();
+        assert_eq!(before.total_corrupt_reads(), 1);
+        m.record_corrupt_read(NodeId(0));
+        assert_eq!(m.snapshot().since(&before).total_corrupt_reads(), 1);
+        m.reset();
+        assert_eq!(m.snapshot().total_corrupt_reads(), 0);
     }
 
     #[test]

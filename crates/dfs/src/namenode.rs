@@ -29,11 +29,20 @@ impl Namenode {
         Namenode::default()
     }
 
-    /// Allocate a fresh block id with the given replica set.
-    pub fn allocate_block(&mut self, len: u64, replicas: Vec<NodeId>) -> BlockId {
+    /// Allocate a fresh block id with the given replica set and content
+    /// checksum.
+    pub fn allocate_block(&mut self, len: u64, replicas: Vec<NodeId>, checksum: u64) -> BlockId {
         let id = BlockId(self.next_block);
         self.next_block += 1;
-        self.blocks.insert(id, BlockMeta { id, len, replicas });
+        self.blocks.insert(
+            id,
+            BlockMeta {
+                id,
+                len,
+                replicas,
+                checksum,
+            },
+        );
         id
     }
 
@@ -119,8 +128,8 @@ mod tests {
     #[test]
     fn block_ids_are_unique() {
         let mut nn = Namenode::new();
-        let a = nn.allocate_block(1, vec![NodeId(0)]);
-        let b = nn.allocate_block(1, vec![NodeId(0)]);
+        let a = nn.allocate_block(1, vec![NodeId(0)], 0);
+        let b = nn.allocate_block(1, vec![NodeId(0)], 0);
         assert_ne!(a, b);
     }
 
@@ -134,7 +143,7 @@ mod tests {
     #[test]
     fn delete_frees_blocks() {
         let mut nn = Namenode::new();
-        let b = nn.allocate_block(5, vec![NodeId(0)]);
+        let b = nn.allocate_block(5, vec![NodeId(0)], 0);
         nn.commit_file(entry("/a", vec![b])).unwrap();
         let freed = nn.delete("/a").unwrap();
         assert_eq!(freed, vec![b]);

@@ -16,9 +16,10 @@
 
 use crate::cost::{CostParams, TaskCost};
 use crate::distcache::DistCache;
+use crate::fault::FaultPlan;
 use crate::history;
-use crate::input::InputSplit;
-use crate::job::{JobProfile, JobResult, JobSpec, OutputSpec, TaskProfile};
+use crate::input::{InputSplit, SplitSpec};
+use crate::job::{JobProfile, JobResult, JobSpec, KilledAttempt, OutputSpec, TaskProfile};
 use crate::scheduler;
 use crate::shuffle;
 use crate::task::{
@@ -26,10 +27,16 @@ use crate::task::{
 };
 use clyde_common::obs::{Obs, Phase, TaskKind};
 use clyde_common::{keycodec, rowcodec, ClydeError, Result, Row};
-use clyde_dfs::{Dfs, NodeId, NodeLocalStore};
+use clyde_dfs::{ClusterSpec, Dfs, NodeId, NodeLocalStore};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A node is blacklisted for further retries once this many of its attempts
+/// have failed within one job (Hadoop's `mapred.max.tracker.failures`).
+/// Advisory: retries merely *prefer* clean nodes; only DFS-dead nodes are
+/// hard-excluded, so a healthy-but-unlucky cluster can still finish the job.
+const BLACKLIST_AFTER_FAILURES: u32 = 3;
 
 /// Artifacts prepared by the job client before submission (Hive's master
 /// builds mapjoin hash tables here).
@@ -50,6 +57,8 @@ struct TaskOutput {
     wall_ns: u64,
     /// Wall-clock the runner attributed to specific phases.
     wall_phases: Vec<(Phase, u64)>,
+    /// Whether this output came from a speculative backup attempt.
+    speculative: bool,
 }
 
 /// Everything a map-task attempt needs, bundled so the first parallel wave
@@ -66,6 +75,10 @@ struct MapTaskEnv<'a> {
     concurrency: u32,
     threads: u32,
     map_only: bool,
+    params: &'a CostParams,
+    cluster: &'a ClusterSpec,
+    faults: Option<&'a FaultPlan>,
+    max_attempts: u32,
 }
 
 impl MapTaskEnv<'_> {
@@ -158,27 +171,84 @@ impl MapTaskEnv<'_> {
             output_file,
             wall_ns: wall_start.elapsed().as_nanos() as u64,
             wall_phases,
+            speculative: false,
         })
     }
 
+    /// Straggler multiplier the fault plan imposes on `node` (1.0 clean).
+    fn slow_factor(&self, node: NodeId) -> f64 {
+        self.faults
+            .map_or(1.0, |f| f.slow_factor(node.0, self.memories.len()))
+    }
+
+    /// Simulated duration of a map attempt with `cost` on `node`, including
+    /// the plan's slow-node multiplier. This is the clock heartbeats and the
+    /// speculative-execution straggler detector run on — never wall time.
+    fn sim_duration(&self, cost: &TaskCost, node: NodeId) -> f64 {
+        self.params
+            .map_task_duration(self.cluster, cost, self.concurrency)
+            * self.slow_factor(node)
+    }
+
+    /// The fault plan's verdict on attempt `attempt` (0-based) of `task_idx`.
+    fn injected_failure(&self, task_idx: usize, attempt: u32) -> Option<ClydeError> {
+        let f = self.faults?;
+        if f.fails_attempt(task_idx, attempt, self.max_attempts) {
+            Some(ClydeError::MapReduce(format!(
+                "injected fault: task {task_idx} attempt {attempt} crashed"
+            )))
+        } else {
+            None
+        }
+    }
+
     /// Deterministic alternate node for retry `attempt` (1-based retries):
-    /// walk the split's preferred hosts, then the whole cluster, skipping the
-    /// node that just failed.
-    fn retry_node(&self, task_idx: usize, failed: NodeId, attempt: u32) -> NodeId {
+    /// walk the task's preferred hosts (refreshed after re-replication), then
+    /// the whole cluster. Dead nodes are excluded outright; blacklisted nodes
+    /// and the node that just failed are avoided while an alternative exists.
+    /// Errors when no live node remains anywhere.
+    fn retry_node(
+        &self,
+        task_idx: usize,
+        failed: NodeId,
+        attempt: u32,
+        hosts: &[NodeId],
+        blacklisted: &[bool],
+    ) -> Result<NodeId> {
         let n = self.memories.len();
-        let split = &self.splits[task_idx];
-        let mut candidates: Vec<NodeId> = split.hosts.iter().copied().filter(|h| h.0 < n).collect();
+        let mut candidates: Vec<NodeId> = hosts.iter().copied().filter(|h| h.0 < n).collect();
         for i in 0..n {
             let node = NodeId(i);
             if !candidates.contains(&node) {
                 candidates.push(node);
             }
         }
-        candidates.retain(|c| *c != failed);
+        candidates.retain(|c| self.dfs.is_node_alive(*c));
         if candidates.is_empty() {
-            return failed; // single-node cluster: nowhere else to go
+            return Err(ClydeError::MapReduce(format!(
+                "map task {task_idx}: no live node left to retry on"
+            )));
         }
-        candidates[(attempt as usize - 1) % candidates.len()]
+        let healthy: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|c| *c != failed && !blacklisted.get(c.0).copied().unwrap_or(false))
+            .collect();
+        let pool = if !healthy.is_empty() {
+            healthy
+        } else {
+            let not_failed: Vec<NodeId> = candidates
+                .iter()
+                .copied()
+                .filter(|c| *c != failed)
+                .collect();
+            if !not_failed.is_empty() {
+                not_failed
+            } else {
+                candidates // single live node: retry in place
+            }
+        };
+        Ok(pool[(attempt as usize - 1) % pool.len()])
     }
 }
 
@@ -242,10 +312,18 @@ impl Engine {
         };
         let cluster = self.dfs.cluster().clone();
         let n = cluster.num_workers();
+        let faults = spec.faults.as_deref();
+        // Fault injection: rot the planned replicas before anything reads.
+        if let Some(f) = faults {
+            if f.corrupt_replicas > 0 {
+                self.dfs.inject_corruption(f.seed, f.corrupt_replicas);
+            }
+        }
         let splits = spec.input.splits(&self.dfs, &spec.conf)?;
         let concurrency = scheduler::concurrency_per_node(&cluster, spec.declared_task_memory);
         let assignment = scheduler::assign_map_tasks(&splits, &cluster);
         let threads = spec.task_threads.unwrap_or(1).max(1);
+        let max_attempts = spec.max_task_attempts.max(1);
 
         let node_states: Vec<Arc<NodeState>> = (0..n).map(|_| Arc::new(NodeState::new())).collect();
         let memories: Vec<Arc<MemoryTracker>> = (0..n)
@@ -264,6 +342,10 @@ impl Engine {
             concurrency,
             threads,
             map_only: spec.reducer.is_none(),
+            params: &self.params,
+            cluster: &cluster,
+            faults,
+            max_attempts,
         };
 
         let mut tasks_by_node: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -272,10 +354,15 @@ impl Engine {
         }
 
         // --- Map phase, first wave: one worker thread per node. Failures
-        // are collected, not fatal (except OOM). ---
+        // are collected, not fatal (except OOM). Each worker tracks its own
+        // simulated clock (sum of its committed attempts' durations) so a
+        // planned datanode death strikes at a deterministic point. ---
         let outputs: Vec<Mutex<Option<TaskOutput>>> =
             splits.iter().map(|_| Mutex::new(None)).collect();
         let failures: Mutex<Vec<(usize, NodeId, ClydeError)>> = Mutex::new(Vec::new());
+        let death_times: Vec<Option<f64>> = (0..n)
+            .map(|i| faults.and_then(|f| f.death_time(i, n)))
+            .collect();
 
         std::thread::scope(|scope| {
             for (node_idx, task_list) in tasks_by_node.iter().enumerate() {
@@ -286,10 +373,49 @@ impl Engine {
                 let env = &env;
                 let outputs = &outputs;
                 let failures = &failures;
+                let death = death_times[node_idx];
                 scope.spawn(move || {
+                    let mut sim_elapsed = 0.0f64;
+                    let mut down = false;
                     for &task_idx in task_list {
+                        if down {
+                            // The tasktracker stopped heartbeating; its
+                            // remaining queue fails over to other nodes.
+                            failures.lock().push((
+                                task_idx,
+                                node,
+                                ClydeError::MapReduce(format!(
+                                    "heartbeat lost: node {} is dead",
+                                    node.0
+                                )),
+                            ));
+                            continue;
+                        }
+                        if let Some(err) = env.injected_failure(task_idx, 0) {
+                            failures.lock().push((task_idx, node, err));
+                            continue;
+                        }
                         match env.exec(task_idx, node) {
-                            Ok(out) => *outputs[task_idx].lock() = Some(out),
+                            Ok(out) => {
+                                let dur = env.sim_duration(&out.cost, node);
+                                if let Some(at) = death {
+                                    if sim_elapsed + dur > at {
+                                        // Died mid-attempt: the work is lost.
+                                        down = true;
+                                        failures.lock().push((
+                                            task_idx,
+                                            node,
+                                            ClydeError::MapReduce(format!(
+                                                "heartbeat lost: node {} died mid-task",
+                                                node.0
+                                            )),
+                                        ));
+                                        continue;
+                                    }
+                                }
+                                sim_elapsed += dur;
+                                *outputs[task_idx].lock() = Some(out);
+                            }
                             Err(e) => failures.lock().push((task_idx, node, e)),
                         }
                     }
@@ -297,20 +423,72 @@ impl Engine {
             }
         });
 
-        // --- Retry wave: re-execute failed tasks on alternate nodes. ---
+        // --- Heartbeat barrier: planned deaths take effect cluster-wide.
+        // The namenode re-replicates lost blocks and the scheduler refreshes
+        // each pending task's preferred hosts so retries chase the data. ---
+        let mut dead_nodes: Vec<NodeId> = Vec::new();
+        let mut rereplicated_blocks = 0u64;
+        let mut blacklisted = vec![false; n];
+        let mut node_failures = vec![0u32; n];
+        let mut retry_hosts: Vec<Vec<NodeId>> = splits.iter().map(|s| s.hosts.clone()).collect();
+        for (i, death) in death_times.iter().enumerate() {
+            if death.is_some() {
+                let node = NodeId(i);
+                self.dfs.kill_node(node);
+                dead_nodes.push(node);
+                blacklisted[i] = true;
+            }
+        }
+        if dead_nodes.len() < n {
+            // With every node dead there is nothing to re-replicate onto; let
+            // the retry path below report the job-level failure instead.
+            if !dead_nodes.is_empty() {
+                rereplicated_blocks = self.dfs.rereplicate()? as u64;
+                for (i, s) in splits.iter().enumerate() {
+                    if let SplitSpec::FileRange { path, .. } = &s.spec {
+                        if let Ok(hosts) = self.dfs.hosts(path) {
+                            retry_hosts[i] = hosts;
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Retry wave: re-execute failed tasks on alternate nodes,
+        // steering around dead and blacklisted ones. ---
         let mut failed_attempts = 0u32;
+        let note_failure =
+            |node_failures: &mut Vec<u32>, blacklisted: &mut Vec<bool>, node: NodeId| {
+                node_failures[node.0] += 1;
+                if node_failures[node.0] >= BLACKLIST_AFTER_FAILURES {
+                    blacklisted[node.0] = true;
+                }
+            };
         let mut failures = failures.into_inner();
         failures.sort_by_key(|(idx, _, _)| *idx); // deterministic order
-        let max_attempts = spec.max_task_attempts.max(1);
         for (task_idx, first_node, mut last_err) in failures {
             if last_err.is_oom() {
                 return Err(last_err);
             }
             failed_attempts += 1;
+            note_failure(&mut node_failures, &mut blacklisted, first_node);
             let mut done = false;
             let mut prev_node = first_node;
             for attempt in 1..max_attempts {
-                let node = env.retry_node(task_idx, prev_node, attempt);
+                let node = env.retry_node(
+                    task_idx,
+                    prev_node,
+                    attempt,
+                    &retry_hosts[task_idx],
+                    &blacklisted,
+                )?;
+                if let Some(err) = env.injected_failure(task_idx, attempt) {
+                    failed_attempts += 1;
+                    note_failure(&mut node_failures, &mut blacklisted, node);
+                    last_err = err;
+                    prev_node = node;
+                    continue;
+                }
                 match env.exec(task_idx, node) {
                     Ok(out) => {
                         *outputs[task_idx].lock() = Some(out);
@@ -320,6 +498,7 @@ impl Engine {
                     Err(e) if e.is_oom() => return Err(e),
                     Err(e) => {
                         failed_attempts += 1;
+                        note_failure(&mut node_failures, &mut blacklisted, node);
                         last_err = e;
                         prev_node = node;
                     }
@@ -329,6 +508,98 @@ impl Engine {
                 return Err(ClydeError::MapReduce(format!(
                     "map task {task_idx} failed after {max_attempts} attempts: {last_err}"
                 )));
+            }
+        }
+
+        // --- Speculative execution: with a fault plan armed, launch one
+        // backup attempt per straggler (simulated duration beyond
+        // `speculative_slowdown` × median) and commit whichever attempt
+        // finishes first on the simulated clock. The output commit is
+        // idempotent, so racing two attempts is safe; the loser is recorded
+        // as a killed attempt and priced as wasted slot time. ---
+        let mut speculative_attempts = 0u32;
+        let mut speculative_wins = 0u32;
+        let mut killed_attempts: Vec<KilledAttempt> = Vec::new();
+        let speculate =
+            faults.is_some_and(|f| f.speculative_slowdown.is_finite()) && splits.len() >= 2;
+        if speculate {
+            let slowdown = faults
+                .expect("speculate requires a plan")
+                .speculative_slowdown;
+            let durs: Vec<f64> = outputs
+                .iter()
+                .map(|o| {
+                    let g = o.lock();
+                    let out = g.as_ref().expect("all map tasks committed by now");
+                    env.sim_duration(&out.cost, out.node)
+                })
+                .collect();
+            let mut sorted = durs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are not NaN"));
+            let median = sorted[sorted.len() / 2];
+            // The detector fires once the original has run for `threshold`
+            // simulated seconds — that is also when the backup launches.
+            let threshold = slowdown * median;
+            for idx in 0..splits.len() {
+                if durs[idx] <= threshold + 1e-9 {
+                    continue;
+                }
+                let orig_node = outputs[idx]
+                    .lock()
+                    .as_ref()
+                    .expect("straggler committed")
+                    .node;
+                // Backup runs on the fastest live, non-blacklisted other node.
+                let backup = (0..n)
+                    .map(NodeId)
+                    .filter(|c| *c != orig_node && !blacklisted[c.0] && self.dfs.is_node_alive(*c))
+                    .min_by(|a, b| {
+                        env.slow_factor(*a)
+                            .partial_cmp(&env.slow_factor(*b))
+                            .expect("slow factors are not NaN")
+                            .then(a.0.cmp(&b.0))
+                    });
+                let Some(backup) = backup else { continue };
+                speculative_attempts += 1;
+                match env.exec(idx, backup) {
+                    Ok(mut bout) => {
+                        let backup_dur = env.sim_duration(&bout.cost, backup);
+                        let backup_finish = threshold + backup_dur;
+                        let orig_dur = durs[idx];
+                        let mut slot = outputs[idx].lock();
+                        let orig = slot.take().expect("straggler committed");
+                        if backup_finish + 1e-9 < orig_dur {
+                            // Backup wins the race; the original is killed
+                            // after `backup_finish` seconds of occupancy.
+                            speculative_wins += 1;
+                            killed_attempts.push(KilledAttempt {
+                                task: idx,
+                                node: orig.node,
+                                busy_s: backup_finish,
+                                cost: orig.cost,
+                            });
+                            bout.speculative = true;
+                            *slot = Some(bout);
+                        } else {
+                            // Original wins; the backup is killed once the
+                            // original commits.
+                            killed_attempts.push(KilledAttempt {
+                                task: idx,
+                                node: backup,
+                                busy_s: (orig_dur - threshold).max(0.0).min(backup_dur),
+                                cost: bout.cost,
+                            });
+                            *slot = Some(orig);
+                        }
+                    }
+                    Err(e) if e.is_oom() => return Err(e),
+                    Err(_) => {
+                        // A failed backup never fails the job — the original
+                        // output already stands.
+                        failed_attempts += 1;
+                        note_failure(&mut node_failures, &mut blacklisted, backup);
+                    }
+                }
             }
         }
 
@@ -345,6 +616,7 @@ impl Engine {
                 node: t.node,
                 cost: t.cost,
                 wall_ns: t.wall_ns,
+                speculative: t.speculative,
             })
             .collect();
         // Roll runner-attributed wall clock up to the job, in phase order.
@@ -411,7 +683,21 @@ impl Engine {
                 }
             }
 
-            let reduce_nodes = scheduler::assign_reduce_tasks(num_reducers, &cluster);
+            // Reducers planned for a node that died mid-job fail over to the
+            // next live node (deterministic round-robin walk).
+            let reduce_nodes: Vec<NodeId> = scheduler::assign_reduce_tasks(num_reducers, &cluster)
+                .into_iter()
+                .map(|node| {
+                    if self.dfs.is_node_alive(node) {
+                        node
+                    } else {
+                        (1..=n)
+                            .map(|d| NodeId((node.0 + d) % n))
+                            .find(|c| self.dfs.is_node_alive(*c))
+                            .unwrap_or(node)
+                    }
+                })
+                .collect();
             for (r, node) in reduce_nodes.iter().enumerate() {
                 let wall_start = Instant::now();
                 let task_runs = std::mem::take(&mut runs[r]);
@@ -435,6 +721,7 @@ impl Engine {
                     node: *node,
                     cost,
                     wall_ns: wall_start.elapsed().as_nanos() as u64,
+                    speculative: false,
                 });
             }
         }
@@ -452,6 +739,23 @@ impl Engine {
             failed_attempts,
             split_locality: scheduler::locality_fraction(&splits, &assignment),
             wall_phases,
+            speculative_attempts,
+            speculative_wins,
+            killed_attempts,
+            blacklisted_nodes: blacklisted
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| **b)
+                .map(|(i, _)| NodeId(i))
+                .collect(),
+            dead_nodes,
+            rereplicated_blocks,
+            node_slowdown: match faults {
+                Some(f) if !f.slow_nodes.is_empty() => {
+                    (0..n).map(|i| f.slow_factor(i, n)).collect()
+                }
+                _ => Vec::new(),
+            },
         };
         let cost = profile.price(&self.params, &cluster)?;
         if self.obs.is_enabled() {
@@ -483,6 +787,35 @@ impl Engine {
         m.counter_add("mapred.reduce_tasks", profile.reduce_tasks.len() as u64);
         m.counter_add("mapred.failed_attempts", u64::from(profile.failed_attempts));
         m.counter_add("mapred.shuffle.bytes", profile.shuffle_bytes);
+        // Recovery counters are emitted only when the corresponding action
+        // fired, so clean runs keep their metric set (and traces) unchanged.
+        if profile.speculative_attempts > 0 {
+            m.counter_add(
+                "mapred.speculative_launched",
+                u64::from(profile.speculative_attempts),
+            );
+        }
+        if profile.speculative_wins > 0 {
+            m.counter_add(
+                "mapred.speculative_wins",
+                u64::from(profile.speculative_wins),
+            );
+        }
+        if !profile.blacklisted_nodes.is_empty() {
+            m.counter_add(
+                "mapred.blacklisted_nodes",
+                profile.blacklisted_nodes.len() as u64,
+            );
+        }
+        if !profile.dead_nodes.is_empty() {
+            m.counter_add(
+                "mapred.heartbeat.lost_nodes",
+                profile.dead_nodes.len() as u64,
+            );
+        }
+        if profile.rereplicated_blocks > 0 {
+            m.counter_add("dfs.rereplicated_blocks", profile.rereplicated_blocks);
+        }
 
         let total_map = profile.total_map_cost();
         let total_reduce = profile.total_reduce_cost();
@@ -506,6 +839,9 @@ impl Engine {
             m.counter_add("dfs.io.local_read_bytes", delta.total_local_read());
             m.counter_add("dfs.io.remote_read_bytes", delta.total_remote_read());
             m.counter_add("dfs.io.written_bytes", delta.total_written());
+            if delta.total_corrupt_reads() > 0 {
+                m.counter_add("dfs.corrupt_reads_detected", delta.total_corrupt_reads());
+            }
         }
         m.gauge_set("scheduler.split_locality", profile.split_locality);
         m.gauge_set("mapred.scan_locality", hist.locality);
@@ -524,6 +860,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::DatanodeDeath;
     use crate::formats::VecInputFormat;
     use crate::input::{InputFormat, Reader};
     use crate::runner::{FnMapRunner, FnMapper, RowMapRunner};
@@ -671,5 +1008,156 @@ mod tests {
         let spec = sum_job(Arc::new(DfsRowsFormat));
         let result = engine.run_job(&spec).unwrap();
         assert_eq!(result.rows, vec![row![55i64]]);
+    }
+
+    // --- Seeded fault-plan tests: every injected fault must be recovered
+    // transparently (same rows as a clean run) with the recovery visible in
+    // the job profile. ---
+
+    fn wide_rows() -> Vec<Row> {
+        (1..=12i64).map(|i| row![i]).collect()
+    }
+
+    fn wide_sum(faults: Option<FaultPlan>) -> JobSpec {
+        let mut spec = sum_job(Arc::new(VecInputFormat::new(wide_rows(), 3)));
+        spec.faults = faults.map(Arc::new);
+        spec
+    }
+
+    #[test]
+    fn injected_task_failures_are_recovered_transparently() {
+        let clean = Engine::new(Dfs::for_tests(3))
+            .run_job(&wide_sum(None))
+            .unwrap();
+        let mut plan = FaultPlan::new(7);
+        plan.task_fail_rate = 1.0; // every task crashes at least once
+        let faulty = Engine::new(Dfs::for_tests(3))
+            .run_job(&wide_sum(Some(plan)))
+            .unwrap();
+        assert_eq!(faulty.rows, clean.rows);
+        assert_eq!(faulty.rows, vec![row![78i64]]);
+        assert!(faulty.profile.failed_attempts >= 3, "one crash per task");
+    }
+
+    #[test]
+    fn slow_node_triggers_a_winning_backup_attempt() {
+        let clean = Engine::new(Dfs::for_tests(3))
+            .run_job(&wide_sum(None))
+            .unwrap();
+        let plan = FaultPlan::named("slow-node", 46).unwrap();
+        let faulty = Engine::new(Dfs::for_tests(3))
+            .run_job(&wide_sum(Some(plan)))
+            .unwrap();
+        assert_eq!(faulty.rows, clean.rows);
+        assert!(faulty.profile.speculative_attempts >= 1);
+        assert!(faulty.profile.speculative_wins >= 1);
+        assert!(
+            !faulty.profile.killed_attempts.is_empty(),
+            "the straggler's original attempt is killed when the backup wins"
+        );
+        // Wasted backup work is priced: the faulty run costs more map time.
+        assert!(faulty.cost.map_s > clean.cost.map_s);
+    }
+
+    #[test]
+    fn datanode_death_mid_job_triggers_rereplication_and_blacklisting() {
+        let payload = rowcodec::write_rows(&rows());
+
+        struct DfsRowsFormat;
+        impl InputFormat for DfsRowsFormat {
+            fn splits(&self, dfs: &Dfs, _conf: &JobConf) -> Result<Vec<InputSplit>> {
+                crate::formats::RowBinInputFormat::new("/in").splits(dfs, &JobConf::new())
+            }
+            fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
+                crate::formats::RowBinInputFormat::new("/in").open(split, part, io)
+            }
+        }
+
+        let dfs = Dfs::for_tests(3);
+        dfs.write_file("/in/part-00000", None, &payload).unwrap();
+        let victim = dfs.hosts("/in/part-00000").unwrap()[0];
+        let mut plan = FaultPlan::new(11);
+        plan.datanode_deaths = vec![DatanodeDeath {
+            node: victim.0,
+            at_sim_s: 0.0,
+        }];
+        let mut spec = sum_job(Arc::new(DfsRowsFormat));
+        spec.faults = Some(Arc::new(plan));
+        let engine = Engine::new(Arc::clone(&dfs));
+        let result = engine.run_job(&spec).unwrap();
+        assert_eq!(result.rows, vec![row![55i64]]);
+        assert_eq!(result.profile.dead_nodes, vec![victim]);
+        assert!(result.profile.blacklisted_nodes.contains(&victim));
+        assert!(
+            result.profile.rereplicated_blocks >= 1,
+            "the victim's replicas must be re-created on survivors"
+        );
+        assert!(!dfs.is_node_alive(victim));
+    }
+
+    #[test]
+    fn corruption_is_recovered_via_replica_fallback() {
+        struct DfsRowsFormat;
+        impl InputFormat for DfsRowsFormat {
+            fn splits(&self, dfs: &Dfs, _conf: &JobConf) -> Result<Vec<InputSplit>> {
+                crate::formats::RowBinInputFormat::new("/in").splits(dfs, &JobConf::new())
+            }
+            fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
+                crate::formats::RowBinInputFormat::new("/in").open(split, part, io)
+            }
+        }
+
+        let run = |faults: Option<FaultPlan>| {
+            let dfs = Dfs::for_tests(3);
+            dfs.write_file("/in/part-00000", None, &rowcodec::write_rows(&rows()))
+                .unwrap();
+            let mut spec = sum_job(Arc::new(DfsRowsFormat));
+            spec.faults = faults.map(Arc::new);
+            Engine::new(dfs).run_job(&spec).unwrap()
+        };
+        let clean = run(None);
+        let faulty = run(FaultPlan::named("corruption", 46));
+        assert_eq!(faulty.rows, clean.rows);
+        assert_eq!(faulty.rows, vec![row![55i64]]);
+    }
+
+    #[test]
+    fn losing_every_node_fails_cleanly() {
+        let mut plan = FaultPlan::new(3);
+        plan.datanode_deaths = (0..3)
+            .map(|node| DatanodeDeath {
+                node,
+                at_sim_s: 0.0,
+            })
+            .collect();
+        let err = Engine::new(Dfs::for_tests(3))
+            .run_job(&wide_sum(Some(plan)))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("no live node left to retry on"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fault_recovery_is_deterministic_for_a_fixed_seed() {
+        let run = || {
+            Engine::new(Dfs::for_tests(3))
+                .run_job(&wide_sum(FaultPlan::named("combined", 46)))
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.profile.failed_attempts, b.profile.failed_attempts);
+        assert_eq!(
+            a.profile.speculative_attempts,
+            b.profile.speculative_attempts
+        );
+        assert_eq!(a.profile.speculative_wins, b.profile.speculative_wins);
+        assert_eq!(a.profile.killed_attempts, b.profile.killed_attempts);
+        assert_eq!(a.profile.dead_nodes, b.profile.dead_nodes);
+        assert_eq!(a.profile.blacklisted_nodes, b.profile.blacklisted_nodes);
+        assert_eq!(a.cost.map_s.to_bits(), b.cost.map_s.to_bits());
     }
 }

@@ -86,7 +86,31 @@ pub fn job_history(
             emit_records: t.cost.emit_records,
             emit_bytes: t.cost.emit_bytes,
             wall_ns: t.wall_ns,
+            speculative: t.speculative,
             phases: shift(params.map_task_phases(cluster, &t.cost, concurrency), start),
+        });
+    }
+
+    // Killed attempts (speculative losers) occupied real map slots until the
+    // commit race was decided; lay them out after the committed lanes so the
+    // swimlane view shows the wasted occupancy.
+    for k in &profile.killed_attempts {
+        let node = k.node.0 % n;
+        let (slot, start) = map_slots[node].place(k.busy_s);
+        tasks.push(TaskLane {
+            index: k.task,
+            kind: TaskKind::Map,
+            node,
+            slot,
+            start_s: start,
+            dur_s: k.busy_s,
+            local_bytes: k.cost.local_bytes,
+            remote_bytes: k.cost.remote_bytes,
+            emit_records: k.cost.emit_records,
+            emit_bytes: k.cost.emit_bytes,
+            wall_ns: 0,
+            speculative: true,
+            phases: Vec::new(),
         });
     }
 
@@ -111,6 +135,7 @@ pub fn job_history(
             emit_records: t.cost.emit_records,
             emit_bytes: t.cost.emit_bytes,
             wall_ns: t.wall_ns,
+            speculative: false,
             phases: shift(params.reduce_task_phases(cluster, &t.cost), start),
         });
     }
@@ -137,6 +162,11 @@ pub fn job_history(
         },
         split_locality: profile.split_locality,
         failed_attempts: profile.failed_attempts,
+        speculative_attempts: profile.speculative_attempts,
+        speculative_wins: profile.speculative_wins,
+        blacklisted_nodes: profile.blacklisted_nodes.len() as u32,
+        dead_nodes: profile.dead_nodes.len() as u32,
+        rereplicated_blocks: profile.rereplicated_blocks,
         wall_phases: profile.wall_phases.clone(),
         tasks,
     }
@@ -161,6 +191,7 @@ mod tests {
                     node: NodeId(i % nodes),
                     cost,
                     wall_ns: 7,
+                    speculative: false,
                 })
                 .collect(),
             map_concurrency: concurrency,

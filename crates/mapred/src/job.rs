@@ -2,6 +2,7 @@
 
 use crate::conf::JobConf;
 use crate::cost::{makespan, shuffle_time, CostParams, JobCost, TaskCost};
+use crate::fault::FaultPlan;
 use crate::input::InputFormat;
 use crate::runner::MapRunner;
 use crate::shuffle::Reducer;
@@ -43,6 +44,8 @@ pub struct JobSpec {
     /// Maximum execution attempts per map task (Hadoop defaults to 4).
     /// Out-of-memory failures are never retried.
     pub max_task_attempts: u32,
+    /// Seeded fault plan to run the job under; `None` is the clean path.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl JobSpec {
@@ -65,6 +68,7 @@ impl JobSpec {
             task_threads: None,
             reuse_jvm: true,
             max_task_attempts: 4,
+            faults: None,
         }
     }
 }
@@ -78,6 +82,25 @@ pub struct TaskProfile {
     /// task. Observability-only: never feeds simulated time, and is zero for
     /// extrapolated profiles.
     pub wall_ns: u64,
+    /// Whether the committed attempt was a speculative backup that won the
+    /// commit race against the original.
+    pub speculative: bool,
+}
+
+/// A task attempt that executed but lost the commit race to its twin (the
+/// speculative-execution analogue of Hadoop's `KILLED` attempts). Its work
+/// is wasted by definition, and the cost model prices it as real slot
+/// occupancy so fault runs show honest degradation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KilledAttempt {
+    /// Map task index the attempt belonged to.
+    pub task: usize,
+    /// Node the killed attempt ran on.
+    pub node: NodeId,
+    /// Simulated seconds the attempt occupied its slot before being killed.
+    pub busy_s: f64,
+    /// Counters the attempt accumulated (all of it wasted work).
+    pub cost: TaskCost,
 }
 
 /// Hardware-independent record of one job's execution, priceable against any
@@ -107,6 +130,21 @@ pub struct JobProfile {
     /// Wall-clock nanoseconds per execution phase, summed across tasks
     /// (reported by instrumented runners; observability-only).
     pub wall_phases: Vec<(Phase, u64)>,
+    /// Backup attempts launched by speculative execution.
+    pub speculative_attempts: u32,
+    /// Backup attempts that won the commit race against the original.
+    pub speculative_wins: u32,
+    /// Attempts that executed but lost the commit race (wasted work).
+    pub killed_attempts: Vec<KilledAttempt>,
+    /// Nodes blacklisted after repeated attempt failures.
+    pub blacklisted_nodes: Vec<NodeId>,
+    /// Nodes the heartbeat detector declared dead mid-job.
+    pub dead_nodes: Vec<NodeId>,
+    /// Block replicas re-created by namenode-driven re-replication.
+    pub rereplicated_blocks: u64,
+    /// Per-node duration multipliers from the fault plan's slow nodes
+    /// (empty = all 1.0). Indexed by worker node id.
+    pub node_slowdown: Vec<f64>,
 }
 
 impl JobProfile {
@@ -139,25 +177,38 @@ impl JobProfile {
             });
         }
 
-        let map_durations: Vec<(NodeId, f64)> = self
+        // Injected stragglers run every task slower; priced makespan must
+        // reflect that or fault runs would look free.
+        let slowdown =
+            |node: usize| -> f64 { self.node_slowdown.get(node).copied().unwrap_or(1.0) };
+
+        let mut map_durations: Vec<(NodeId, f64)> = self
             .map_tasks
             .iter()
             .map(|t| {
+                let node = t.node.0 % cluster.num_workers();
                 (
-                    NodeId(t.node.0 % cluster.num_workers()),
-                    params.map_task_duration(cluster, &t.cost, concurrency),
+                    NodeId(node),
+                    params.map_task_duration(cluster, &t.cost, concurrency) * slowdown(node),
                 )
             })
             .collect();
+        // Killed attempts occupied real slots until the commit race was
+        // decided; price that occupancy as wasted map work.
+        map_durations.extend(self.killed_attempts.iter().map(|k| {
+            let node = k.node.0 % cluster.num_workers();
+            (NodeId(node), k.busy_s)
+        }));
         let map_s = makespan(&map_durations, cluster.num_workers(), concurrency);
 
         let reduce_durations: Vec<(NodeId, f64)> = self
             .reduce_tasks
             .iter()
             .map(|t| {
+                let node = t.node.0 % cluster.num_workers();
                 (
-                    NodeId(t.node.0 % cluster.num_workers()),
-                    params.reduce_task_duration(cluster, &t.cost),
+                    NodeId(node),
+                    params.reduce_task_duration(cluster, &t.cost) * slowdown(node),
                 )
             })
             .collect();
@@ -201,6 +252,7 @@ impl JobProfile {
                 node: NodeId((i as usize) % opts.cluster.num_workers()),
                 cost: per_map,
                 wall_ns: 0,
+                speculative: false,
             })
             .collect();
 
@@ -220,6 +272,7 @@ impl JobProfile {
                 node: NodeId((i as usize) % opts.cluster.num_workers()),
                 cost: per_reduce,
                 wall_ns: 0,
+                speculative: false,
             })
             .collect();
 
@@ -237,8 +290,15 @@ impl JobProfile {
             failed_attempts: 0,
             split_locality: self.split_locality,
             // Wall-clock is a property of the measured run, not the
-            // extrapolated one.
+            // extrapolated one — and so is everything the fault injector did.
             wall_phases: Vec::new(),
+            speculative_attempts: 0,
+            speculative_wins: 0,
+            killed_attempts: Vec::new(),
+            blacklisted_nodes: Vec::new(),
+            dead_nodes: Vec::new(),
+            rereplicated_blocks: 0,
+            node_slowdown: Vec::new(),
         }
     }
 }
@@ -295,6 +355,7 @@ mod tests {
                     node: NodeId(i % 2),
                     cost,
                     wall_ns: 0,
+                    speculative: false,
                 })
                 .collect(),
             map_concurrency: concurrency,
@@ -315,6 +376,32 @@ mod tests {
         assert!(p
             .price(&CostParams::paper(), &ClusterSpec::cluster_b())
             .is_ok());
+    }
+
+    #[test]
+    fn pricing_charges_slow_nodes_and_killed_attempts() {
+        let cluster = ClusterSpec::cluster_a();
+        let mut cost = TaskCost::new();
+        cost.local_bytes = 1 << 30;
+        let mut p = profile_with(vec![cost; 2], 1);
+        let params = CostParams::paper();
+        let clean = p.price(&params, &cluster).unwrap();
+
+        // A 3× slow node stretches the map makespan.
+        p.node_slowdown = vec![1.0, 3.0];
+        let slowed = p.price(&params, &cluster).unwrap();
+        assert!(slowed.map_s > clean.map_s);
+
+        // A killed backup attempt occupies a slot and costs real seconds.
+        p.node_slowdown = Vec::new();
+        p.killed_attempts = vec![KilledAttempt {
+            task: 0,
+            node: NodeId(0),
+            busy_s: clean.map_s * 2.0,
+            cost,
+        }];
+        let wasted = p.price(&params, &cluster).unwrap();
+        assert!(wasted.map_s > clean.map_s);
     }
 
     #[test]

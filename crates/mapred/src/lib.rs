@@ -28,6 +28,7 @@ pub mod conf;
 pub mod cost;
 pub mod distcache;
 pub mod engine;
+pub mod fault;
 pub mod formats;
 pub mod history;
 pub mod input;
@@ -41,10 +42,12 @@ pub use conf::JobConf;
 pub use cost::{CostParams, JobCost, TaskCost};
 pub use distcache::DistCache;
 pub use engine::Engine;
+pub use fault::{DatanodeDeath, FaultPlan};
 pub use history::job_history;
 pub use input::{BlockReader, InputFormat, InputSplit, Reader, RecordReader, SplitSpec};
 pub use job::{
-    Extrapolation, JobProfile, JobResult, JobSpec, MapTaskScaling, OutputSpec, TaskProfile,
+    Extrapolation, JobProfile, JobResult, JobSpec, KilledAttempt, MapTaskScaling, OutputSpec,
+    TaskProfile,
 };
 pub use runner::{FnMapRunner, MapRunner, RowMapRunner};
 pub use shuffle::Reducer;

@@ -1,0 +1,159 @@
+//! Recovery-transparency properties: under any *survivable* seeded fault
+//! plan, a job's output is byte-identical to the fault-free run, and equally
+//! deterministic — same seed, same recovery, same answer.
+//!
+//! Survivable means the plan leaves at least one live node and, for
+//! DFS-resident inputs, at least one checksum-clean replica of every block
+//! (replication 3 with at most one death guarantees that; injected task
+//! failures are attempt-scoped and recoverable by construction).
+
+use clyde_common::{row, rowcodec, Row};
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_mapred::formats::{RowBinInputFormat, VecInputFormat};
+use clyde_mapred::input::InputFormat;
+use clyde_mapred::runner::{FnMapper, RowMapRunner};
+use clyde_mapred::shuffle::FnReducer;
+use clyde_mapred::{DatanodeDeath, Engine, FaultPlan, JobSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn sum_job(input: Arc<dyn InputFormat>, faults: Option<FaultPlan>) -> JobSpec {
+    let mapper = RowMapRunner::new(FnMapper(|_k: &Row, v: &Row, ctx: &_| {
+        ctx.emit(&row![v.at(0).as_i64().unwrap() % 4], v.clone());
+        Ok(())
+    }));
+    let mut spec = JobSpec::new("fault-prop", input, Arc::new(mapper));
+    spec.reducer = Some(Arc::new(FnReducer(
+        |k: &Row, values: &[Row], out: &mut Vec<Row>| {
+            let s: i64 = values.iter().map(|v| v.at(0).as_i64().unwrap()).sum();
+            out.push(row![k.at(0).as_i64().unwrap(), s]);
+            Ok(())
+        },
+    )));
+    spec.num_reducers = 2;
+    spec.faults = faults.map(Arc::new);
+    spec
+}
+
+fn rows(n: i64) -> Vec<Row> {
+    (1..=n).map(|i| row![i]).collect()
+}
+
+/// Build a plan from integer draws (the shim has no float strategies):
+/// failure rate in [0, 1], up to `max_slow` slowed nodes, up to `max_dead`
+/// distinct dead nodes, and a corruption count.
+fn plan_from(seed: u64, rate_pct: u32, slow_n: usize, dead_n: usize, corrupt: u32) -> FaultPlan {
+    let mut p = FaultPlan::new(seed);
+    p.task_fail_rate = f64::from(rate_pct) / 100.0;
+    p.slow_nodes = (0..slow_n).map(|i| (i, 1.5 + i as f64)).collect();
+    p.datanode_deaths = (0..dead_n)
+        .map(|i| DatanodeDeath {
+            node: i,
+            at_sim_s: (seed % 3) as f64,
+        })
+        .collect();
+    p.corrupt_replicas = corrupt;
+    p
+}
+
+fn run_mem(nodes: usize, faults: Option<FaultPlan>) -> Vec<Row> {
+    let engine = Engine::new(Dfs::for_tests(nodes));
+    let spec = sum_job(Arc::new(VecInputFormat::new(rows(12), 3)), faults);
+    engine.run_job(&spec).unwrap().rows
+}
+
+/// A replication-3 cluster with the test rows stored as a DFS row-binary
+/// file, so corruption and re-replication act on real blocks.
+fn dfs_r3(nodes: usize) -> Arc<Dfs> {
+    let dfs = Dfs::new(
+        ClusterSpec::tiny(nodes),
+        DfsOptions {
+            block_size: 64,
+            replication: 3,
+            policy: Box::new(ColocatingPlacement),
+        },
+    );
+    dfs.write_file("/in/part-00000", None, &rowcodec::write_rows(&rows(40)))
+        .unwrap();
+    dfs
+}
+
+fn run_dfs(dfs: &Arc<Dfs>, faults: Option<FaultPlan>) -> Vec<Row> {
+    let engine = Engine::new(Arc::clone(dfs));
+    let spec = sum_job(Arc::new(RowBinInputFormat::new("/in")), faults);
+    engine.run_job(&spec).unwrap().rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Memory-resident input on a 3-node cluster: any plan that leaves one
+    /// node alive (deaths capped at 2) recovers to the fault-free answer.
+    #[test]
+    fn any_survivable_plan_is_transparent_for_memory_input(
+        seed in any::<u64>(),
+        rate_pct in 0u32..101,
+        slow_n in 0usize..3,
+        dead_n in 0usize..3,
+        corrupt in 0u32..8,
+    ) {
+        let clean = run_mem(3, None);
+        let plan = plan_from(seed, rate_pct, slow_n, dead_n, corrupt);
+        let faulted = run_mem(3, Some(plan.clone()));
+        prop_assert_eq!(&faulted, &clean);
+        // Same seed, same recovery path, same answer.
+        let again = run_mem(3, Some(plan));
+        prop_assert_eq!(again, faulted);
+    }
+
+    /// DFS-resident input at replication 3: corruption plus at most one
+    /// death always leaves a clean replica, so recovery stays transparent
+    /// even while the namenode re-replicates mid-job.
+    #[test]
+    fn any_survivable_plan_is_transparent_for_dfs_input(
+        seed in any::<u64>(),
+        rate_pct in 0u32..101,
+        slow_n in 0usize..3,
+        dead_n in 0usize..2,
+        corrupt in 0u32..32,
+    ) {
+        let clean = run_dfs(&dfs_r3(4), None);
+        let plan = plan_from(seed, rate_pct, slow_n, dead_n, corrupt);
+        // Fresh identically-loaded cluster per run: fault plans mutate DFS
+        // state (corruption, deaths), so runs must not share one.
+        let faulted = run_dfs(&dfs_r3(4), Some(plan.clone()));
+        prop_assert_eq!(&faulted, &clean);
+        let again = run_dfs(&dfs_r3(4), Some(plan));
+        prop_assert_eq!(again, faulted);
+    }
+}
+
+/// Every named CI-matrix plan is survivable on the matrix topology.
+#[test]
+fn all_named_plans_recover_on_the_matrix_topology() {
+    let clean = run_dfs(&dfs_r3(4), None);
+    for name in clyde_mapred::fault::NAMES {
+        let plan = FaultPlan::named(name, 46).unwrap();
+        let faulted = run_dfs(&dfs_r3(4), Some(plan));
+        assert_eq!(faulted, clean, "plan `{name}` changed the answer");
+    }
+}
+
+/// The failure detector reports, rather than hangs on, an unsurvivable plan.
+#[test]
+fn unsurvivable_plans_error_cleanly() {
+    let mut plan = FaultPlan::new(9);
+    plan.datanode_deaths = (0..3)
+        .map(|node| DatanodeDeath {
+            node,
+            at_sim_s: 0.0,
+        })
+        .collect();
+    let engine = Engine::new(Dfs::for_tests(3));
+    let spec = sum_job(Arc::new(VecInputFormat::new(rows(12), 3)), Some(plan));
+    let err = engine.run_job(&spec).unwrap_err();
+    assert!(
+        err.to_string().contains("no live node left to retry on"),
+        "{err}"
+    );
+}

@@ -6,6 +6,7 @@
 //! also written as a small JSON document (see `BENCH_probe.json` at the
 //! repo root for a committed run).
 
+use clyde_common::obs::WallTimer;
 use clyde_common::{FxHashMap, RowBlock, RowBlockBuilder};
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::{query_by_id, schema};
@@ -13,7 +14,6 @@ use clydesdale::hashtable::DimTables;
 use clydesdale::probe::{
     probe_block, probe_block_vec, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
 };
-use std::time::Instant;
 
 const BLOCK_ROWS: usize = 4096;
 const WARMUP_ITERS: usize = 2;
@@ -91,9 +91,9 @@ fn main() {
         let mut best = f64::INFINITY;
         let mut out = (0, ProbeStats::default());
         for _ in 0..TIMED_ITERS {
-            let t = Instant::now();
+            let t = WallTimer::start();
             let r = std::hint::black_box(f());
-            best = best.min(t.elapsed().as_secs_f64());
+            best = best.min(t.elapsed_s());
             out = r;
         }
         (best, out.0, out.1)

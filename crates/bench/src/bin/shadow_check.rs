@@ -1,0 +1,214 @@
+//! Shadow dual-run determinism harness.
+//!
+//! Usage: `shadow_check [measurement-sf] [--seed <n>] [--queries <id,id,...>]`
+//! (default SF 0.008, seed 46, queries Q1.1 and Q2.1).
+//!
+//! The static pass (`clyde-lint`) proves nobody *wrote* nondeterministic
+//! code; this binary proves nothing nondeterministic *executes*. For each
+//! query it runs the full stack — fresh simulated cluster, SSB load, warm
+//! cache, query with observability on — and captures three artifacts:
+//!
+//! 1. the serialized result rows,
+//! 2. the Chrome trace JSON (simulated time only, by construction),
+//! 3. the rendered metrics snapshot with wall-clock metrics filtered out.
+//!
+//! Each job is executed under four configurations: twice identically (the
+//! dual run — catches anything seeded from ambient state), then with the
+//! `MtMapRunner` host thread count forced to 1, 2, and 8 while the cost
+//! model keeps pricing with the cluster's map slots. Every configuration
+//! must produce byte-identical artifacts; any diff is printed and the
+//! process exits non-zero, which is what the CI `static-analysis` job gates
+//! on.
+
+use clyde_bench::harness::{measurement_cluster, MeasurementConfig};
+use clyde_common::{Obs, Result};
+use clyde_dfs::{ColocatingPlacement, Dfs, DfsOptions};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::loader::{self, SsbLayout};
+use clyde_ssb::queries::StarQuery;
+use clyde_ssb::query_by_id;
+use clydesdale::Clydesdale;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// The deterministic artifacts of one full query execution.
+struct Artifacts {
+    results: Vec<u8>,
+    trace: String,
+    metrics: String,
+}
+
+/// Drop metric lines that are wall-clock-derived (observability-only, the
+/// single sanctioned nondeterminism in a snapshot).
+fn filter_wall(rendered: &str) -> String {
+    rendered
+        .lines()
+        .filter(|l| {
+            !l.split('=')
+                .next()
+                .is_some_and(|name| name.contains("wall"))
+        })
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn run_once(
+    config: &MeasurementConfig,
+    query: &StarQuery,
+    host_threads: Option<u32>,
+) -> Result<Artifacts> {
+    let cluster = measurement_cluster(config.workers);
+    let dfs = Dfs::new(
+        cluster,
+        DfsOptions {
+            block_size: 8 << 20,
+            replication: 2,
+            policy: Box::new(ColocatingPlacement),
+        },
+    );
+    let layout = SsbLayout::default();
+    loader::load(
+        &dfs,
+        SsbGen::new(config.sf, config.seed),
+        &layout,
+        &loader::LoadOpts {
+            rows_per_group: config.rows_per_group,
+            cif: true,
+            rcfile: false,
+            text: false,
+            cluster_by_date: true,
+        },
+    )?;
+    let obs = Obs::enabled();
+    let mut clyde = Clydesdale::new(Arc::clone(&dfs), layout).with_obs(Arc::clone(&obs));
+    if let Some(t) = host_threads {
+        clyde = clyde.with_host_threads(t);
+    }
+    clyde.warm_dimension_cache()?;
+    let r = clyde.query(query)?;
+    Ok(Artifacts {
+        results: clyde_common::rowcodec::write_rows(&r.rows),
+        trace: obs.chrome_trace(),
+        metrics: filter_wall(&obs.metrics().snapshot().render()),
+    })
+}
+
+/// Compare `got` against `want`; report which artifact diverged.
+fn diff(label: &str, want: &Artifacts, got: &Artifacts) -> bool {
+    let mut ok = true;
+    if want.results != got.results {
+        eprintln!("shadow_check: FAIL [{label}]: result rows diverged");
+        ok = false;
+    }
+    if want.trace != got.trace {
+        let at = want
+            .trace
+            .lines()
+            .zip(got.trace.lines())
+            .position(|(a, b)| a != b);
+        eprintln!(
+            "shadow_check: FAIL [{label}]: simulated-time trace diverged \
+             (first differing line: {at:?})"
+        );
+        ok = false;
+    }
+    if want.metrics != got.metrics {
+        eprintln!("shadow_check: FAIL [{label}]: metric snapshot diverged");
+        for (a, b) in want.metrics.lines().zip(got.metrics.lines()) {
+            if a != b {
+                eprintln!("  baseline: {a}\n  shadow:   {b}");
+            }
+        }
+        ok = false;
+    }
+    ok
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: shadow_check [measurement-sf] [--seed <n>] [--queries <id,id,...>]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Host thread counts to force through `MtMapRunner`. The cost model prices
+/// with the cluster's map slots regardless, so artifacts must not move.
+const THREAD_COUNTS: [u32; 3] = [1, 2, 8];
+
+fn main() -> ExitCode {
+    let mut config = MeasurementConfig {
+        sf: 0.008,
+        validate: false,
+        ..MeasurementConfig::default()
+    };
+    let mut query_ids = vec!["Q1.1".to_string(), "Q2.1".to_string()];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => config.seed = s,
+                None => usage("--seed needs an integer"),
+            },
+            "--queries" => match args.next() {
+                Some(list) => query_ids = list.split(',').map(|s| s.trim().to_string()).collect(),
+                None => usage("--queries needs a comma-separated list"),
+            },
+            "--help" | "-h" => usage(""),
+            other => match other.parse::<f64>() {
+                Ok(v) if v > 0.0 => config.sf = v,
+                _ => usage(&format!("unrecognized argument `{other}`")),
+            },
+        }
+    }
+
+    let mut failed = false;
+    for id in &query_ids {
+        let Ok(query) = query_by_id(id) else {
+            usage(&format!("unknown query `{id}`"));
+        };
+        let baseline = match run_once(&config, &query, None) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("shadow_check: {id} baseline run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // 1. Dual run: identical configuration, fresh cluster and state.
+        match run_once(&config, &query, None) {
+            Ok(shadow) => {
+                if diff(&format!("{id} rerun"), &baseline, &shadow) {
+                    println!("shadow_check: OK {id}: dual run byte-identical");
+                } else {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("shadow_check: {id} shadow run failed: {e}");
+                failed = true;
+            }
+        }
+        // 2. Host-thread variance: real parallelism must not be observable.
+        for t in THREAD_COUNTS {
+            match run_once(&config, &query, Some(t)) {
+                Ok(shadow) => {
+                    if diff(&format!("{id} host-threads={t}"), &baseline, &shadow) {
+                        println!("shadow_check: OK {id}: host-threads={t} byte-identical");
+                    } else {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("shadow_check: {id} host-threads={t} run failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("shadow_check: OK — all runs byte-identical across reruns and thread counts");
+        ExitCode::SUCCESS
+    }
+}

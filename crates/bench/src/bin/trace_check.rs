@@ -8,7 +8,7 @@
 //! CI can gate on it.
 
 use clyde_common::obs::json::{self, Json};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -38,7 +38,10 @@ fn main() -> ExitCode {
     };
 
     let mut x_events = 0usize;
-    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    // BTreeMap, not HashMap: the validator's own output (track count, and
+    // any future per-track reporting) must be as deterministic as the traces
+    // it checks (clyde-lint D001).
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let ph = match ev.get("ph").and_then(Json::as_str) {
             Some(p) => p,

@@ -14,12 +14,16 @@
 //! * [`varint`] — LEB128 variable-length integers used by the storage formats.
 //! * [`obs`] — observability: hierarchical span recording, the global
 //!   metrics registry, and job-history reports with Chrome-trace export.
+//! * [`lockorder`] — `Mutex`/`RwLock` wrappers that panic on inconsistent
+//!   lock-acquisition orders in debug builds; the workspace's audited
+//!   concurrency modules use these instead of raw `std::sync` primitives.
 
 pub mod colblock;
 pub mod datum;
 pub mod error;
 pub mod hash;
 pub mod keycodec;
+pub mod lockorder;
 pub mod obs;
 pub mod row;
 pub mod rowcodec;

@@ -6,8 +6,8 @@
 //! record/byte counts. Names are dotted paths (`mapred.shuffle.bytes`);
 //! snapshots are sorted by name, so rendering is deterministic.
 
+use crate::lockorder::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 /// Aggregated observations of a histogram metric.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -120,7 +120,7 @@ impl MetricsRegistry {
     /// Add `delta` to counter `name` (created at zero on first use).
     pub fn counter_add(&self, name: &str, delta: u64) {
         let Some(inner) = &self.inner else { return };
-        let mut map = inner.lock().expect("metrics registry poisoned");
+        let mut map = inner.lock();
         match map.get_mut(name) {
             Some(MetricValue::Counter(c)) => *c += delta,
             _ => {
@@ -132,14 +132,14 @@ impl MetricsRegistry {
     /// Set gauge `name` to `value` (last write wins).
     pub fn gauge_set(&self, name: &str, value: f64) {
         let Some(inner) = &self.inner else { return };
-        let mut map = inner.lock().expect("metrics registry poisoned");
+        let mut map = inner.lock();
         map.insert(name.to_string(), MetricValue::Gauge(value));
     }
 
     /// Record one observation into histogram `name`.
     pub fn histogram_record(&self, name: &str, value: f64) {
         let Some(inner) = &self.inner else { return };
-        let mut map = inner.lock().expect("metrics registry poisoned");
+        let mut map = inner.lock();
         match map.get_mut(name) {
             Some(MetricValue::Histogram(h)) => h.record(value),
             _ => {
@@ -155,7 +155,7 @@ impl MetricsRegistry {
         match &self.inner {
             None => MetricsSnapshot::default(),
             Some(inner) => {
-                let map = inner.lock().expect("metrics registry poisoned");
+                let map = inner.lock();
                 MetricsSnapshot {
                     entries: map.iter().map(|(k, v)| (k.clone(), *v)).collect(),
                 }
@@ -166,7 +166,7 @@ impl MetricsRegistry {
     /// Drop every metric; the next update recreates them from zero.
     pub fn reset(&self) {
         if let Some(inner) = &self.inner {
-            inner.lock().expect("metrics registry poisoned").clear();
+            inner.lock().clear();
         }
     }
 }

@@ -17,12 +17,15 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod trace;
+pub mod wall;
 
 pub use history::{JobHistory, Phase, PhaseSlice, StragglerStats, TaskKind, TaskLane};
 pub use metrics::{HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use span::{us, Span, SpanId, SpanKind, SpanRecorder};
+pub use wall::WallTimer;
 
-use std::sync::{Arc, Mutex};
+use crate::lockorder::Mutex;
+use std::sync::Arc;
 
 /// Handle to the most recently recorded job's trace location, so callers
 /// (e.g. the query layer adding a final-sort span) can append to the same
@@ -88,18 +91,18 @@ impl Obs {
         let total_s = h.total_s();
         let job_ref =
             trace::record_job(&self.spans, &h).map(|(pid, root)| JobRef { pid, root, total_s });
-        self.histories.lock().expect("obs poisoned").push(h);
-        *self.last_job.lock().expect("obs poisoned") = job_ref;
+        self.histories.lock().push(h);
+        *self.last_job.lock() = job_ref;
         job_ref
     }
 
     pub fn last_job(&self) -> Option<JobRef> {
-        *self.last_job.lock().expect("obs poisoned")
+        *self.last_job.lock()
     }
 
     /// Run `f` over every recorded job history, in recording order.
     pub fn with_histories<R>(&self, f: impl FnOnce(&[JobHistory]) -> R) -> R {
-        f(&self.histories.lock().expect("obs poisoned"))
+        f(&self.histories.lock())
     }
 
     /// Serialize all recorded spans as Chrome trace-event JSON.
@@ -131,8 +134,8 @@ impl Obs {
     pub fn reset(&self) {
         self.spans.reset();
         self.metrics.reset();
-        self.histories.lock().expect("obs poisoned").clear();
-        *self.last_job.lock().expect("obs poisoned") = None;
+        self.histories.lock().clear();
+        *self.last_job.lock() = None;
     }
 }
 

@@ -10,7 +10,7 @@
 //! a lock or formatting an argument, so instrumented code paths cost nothing
 //! when observability is off.
 
-use std::sync::Mutex;
+use crate::lockorder::Mutex;
 
 /// Identifier of a recorded span (index into the recorder's span list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,7 +100,7 @@ impl SpanRecorder {
     /// Register a new trace process (one per job); returns its pid.
     pub fn new_process(&self, name: &str) -> u32 {
         let Some(inner) = &self.inner else { return 0 };
-        let mut inner = inner.lock().expect("span recorder poisoned");
+        let mut inner = inner.lock();
         let pid = inner.processes.len() as u32;
         inner.processes.push((pid, name.to_string()));
         pid
@@ -109,7 +109,7 @@ impl SpanRecorder {
     /// Give `(pid, tid)` a display name in the trace.
     pub fn name_thread(&self, pid: u32, tid: u32, name: &str) {
         let Some(inner) = &self.inner else { return };
-        let mut inner = inner.lock().expect("span recorder poisoned");
+        let mut inner = inner.lock();
         inner.threads.push((pid, tid, name.to_string()));
     }
 
@@ -127,7 +127,7 @@ impl SpanRecorder {
         args: Vec<(String, String)>,
     ) -> Option<SpanId> {
         let inner = self.inner.as_ref()?;
-        let mut inner = inner.lock().expect("span recorder poisoned");
+        let mut inner = inner.lock();
         let id = SpanId(inner.spans.len() as u32);
         inner.spans.push(Span {
             id,
@@ -147,7 +147,7 @@ impl SpanRecorder {
     pub fn spans(&self) -> Vec<Span> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => inner.lock().expect("span recorder poisoned").spans.clone(),
+            Some(inner) => inner.lock().spans.clone(),
         }
     }
 
@@ -155,11 +155,7 @@ impl SpanRecorder {
     pub fn processes(&self) -> Vec<(u32, String)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => inner
-                .lock()
-                .expect("span recorder poisoned")
-                .processes
-                .clone(),
+            Some(inner) => inner.lock().processes.clone(),
         }
     }
 
@@ -167,18 +163,14 @@ impl SpanRecorder {
     pub fn threads(&self) -> Vec<(u32, u32, String)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => inner
-                .lock()
-                .expect("span recorder poisoned")
-                .threads
-                .clone(),
+            Some(inner) => inner.lock().threads.clone(),
         }
     }
 
     /// Drop every recorded span and track registration.
     pub fn reset(&self) {
         if let Some(inner) = &self.inner {
-            *inner.lock().expect("span recorder poisoned") = RecorderInner::default();
+            *inner.lock() = RecorderInner::default();
         }
     }
 }

@@ -41,6 +41,7 @@ pub struct Clydesdale {
     layout: SsbLayout,
     features: Features,
     faults: Option<Arc<FaultPlan>>,
+    host_threads: Option<u32>,
 }
 
 impl Clydesdale {
@@ -50,6 +51,7 @@ impl Clydesdale {
             layout,
             features: Features::default(),
             faults: None,
+            host_threads: None,
         }
     }
 
@@ -59,6 +61,7 @@ impl Clydesdale {
             layout,
             features,
             faults: None,
+            host_threads: None,
         }
     }
 
@@ -73,6 +76,7 @@ impl Clydesdale {
             layout,
             features,
             faults: None,
+            host_threads: None,
         }
     }
 
@@ -101,6 +105,16 @@ impl Clydesdale {
 
     pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
         self.faults.as_ref()
+    }
+
+    /// Override how many *host* OS threads the map runner really spawns
+    /// (chainable). The cost model keeps pricing with the cluster's map-slot
+    /// count, so any value must leave results, simulated spans, and metric
+    /// snapshots byte-identical — the property the thread-count-invariance
+    /// test and the `shadow_check` harness assert with 1/2/8.
+    pub fn with_host_threads(mut self, host_threads: u32) -> Clydesdale {
+        self.host_threads = Some(host_threads);
+        self
     }
 
     pub fn engine(&self) -> &Engine {
@@ -222,6 +236,7 @@ impl Clydesdale {
             self.engine.dfs().cluster(),
         )?;
         spec.faults = self.faults.clone();
+        spec.host_threads = self.host_threads;
         let result = self.engine.run_job(&spec)?;
         let mut rows = result.rows;
         query.finish_result(&mut rows);

@@ -101,6 +101,7 @@ impl DimHashTable {
                         <= map.len().saturating_mul(DIRECT_MAX_SLOTS_PER_ENTRY) =>
             {
                 let mut ids = vec![NONE_ID; (hi - lo + 1) as usize];
+                // clyde-lint: allow(unordered, reason=scatter to distinct pk-indexed slots; order cannot matter)
                 for (&pk, &id) in &map {
                     ids[(pk - lo) as usize] = id;
                 }

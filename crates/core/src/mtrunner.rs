@@ -18,15 +18,14 @@ use crate::hashtable::DimTables;
 use crate::probe::{
     probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
 };
-use clyde_common::obs::Phase;
+use clyde_common::lockorder::Mutex;
+use clyde_common::obs::{Phase, WallTimer};
 use clyde_common::{rowcodec, ClydeError, Datum, FxHashMap, Result, Row, Schema};
 use clyde_mapred::{MapRunner, MapTaskContext, Reader};
 use clyde_ssb::loader::SsbLayout;
 use clyde_ssb::queries::StarQuery;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The Clydesdale map runner. Also handles the single-threaded ablation
 /// (`features.multithreading == false`): the same code path with one thread
@@ -68,9 +67,9 @@ impl MtMapRunner {
 
 impl MapRunner for MtMapRunner {
     fn run(&self, ctx: &MapTaskContext<'_>) -> Result<()> {
-        let build_start = Instant::now();
+        let build_start = WallTimer::start();
         let tables = self.acquire_tables(ctx)?;
-        ctx.note_wall_phase(Phase::HashBuild, build_start.elapsed().as_nanos() as u64);
+        ctx.note_wall_phase(Phase::HashBuild, build_start.elapsed_ns());
         let plan = ProbePlan::compile(&self.query, &self.scan_schema)?;
         // The vectorized kernel needs a packed group-key layout; fall back
         // to the scalar kernel when ablated or when the key would not fit.
@@ -81,7 +80,8 @@ impl MapRunner for MtMapRunner {
         };
 
         let parts = ctx.split.spec.num_parts();
-        let threads = (ctx.threads as usize).min(parts).max(1);
+        // Spawn count is a host-execution knob; pricing uses `ctx.threads`.
+        let threads = (ctx.host_threads as usize).min(parts).max(1);
         let next_part = AtomicUsize::new(0);
         let global_acc: Mutex<FxHashMap<Row, i64>> = Mutex::new(FxHashMap::default());
         let global_vacc: Option<Mutex<GroupAcc>> = layout
@@ -104,7 +104,7 @@ impl MapRunner for MtMapRunner {
                 let global_stats = &global_stats;
                 let probe_ns = &probe_ns;
                 handles.push(scope.spawn(move || -> Result<()> {
-                    let thread_start = Instant::now();
+                    let thread_start = WallTimer::start();
                     let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
                     let mut vacc = layout
                         .as_ref()
@@ -141,6 +141,7 @@ impl MapRunner for MtMapRunner {
                     let agg = &self.query.aggregate;
                     if !acc.is_empty() {
                         let mut g = global_acc.lock();
+                        // clyde-lint: allow(unordered, reason=algebraic fold into a map is commutative; emit sorts)
                         for (k, v) in acc {
                             let slot = g.entry(k).or_insert_with(|| agg.identity());
                             *slot = agg.fold(*slot, v);
@@ -150,7 +151,7 @@ impl MapRunner for MtMapRunner {
                         gv.lock().merge(va, agg);
                     }
                     global_stats.lock().add(&stats);
-                    probe_ns.fetch_add(thread_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    probe_ns.fetch_add(thread_start.elapsed_ns(), Ordering::Relaxed);
                     Ok(())
                 }));
             }
@@ -162,7 +163,7 @@ impl MapRunner for MtMapRunner {
         })?;
 
         ctx.note_wall_phase(Phase::Probe, probe_ns.into_inner());
-        let emit_start = Instant::now();
+        let emit_start = WallTimer::start();
         let stats = global_stats.into_inner();
         ctx.add_cost(|c| {
             if self.features.block_iteration {
@@ -192,7 +193,7 @@ impl MapRunner for MtMapRunner {
         for (key, sum) in groups {
             ctx.emit(&key, Row::new(vec![Datum::I64(sum)]));
         }
-        ctx.note_wall_phase(Phase::Emit, emit_start.elapsed().as_nanos() as u64);
+        ctx.note_wall_phase(Phase::Emit, emit_start.elapsed_ns());
         Ok(())
     }
 }

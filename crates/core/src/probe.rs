@@ -651,6 +651,7 @@ mod tests {
         assert_eq!(acc.len(), 1);
         let expect = clyde_ssb::reference_answer(&data, &q).unwrap();
         assert_eq!(
+            // clyde-lint: allow(unordered, reason=asserted single-entry map, no order to observe)
             acc.values().next().copied().unwrap(),
             expect[0].at(0).as_i64().unwrap()
         );

@@ -7,8 +7,8 @@ use crate::namenode::{FileEntry, Namenode};
 use crate::placement::{BlockPlacementPolicy, DefaultPlacement};
 use crate::topology::{ClusterSpec, NodeId};
 use bytes::Bytes;
+use clyde_common::lockorder::RwLock;
 use clyde_common::{ClydeError, FxHashMap, Result};
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Configuration for a [`Dfs`] instance.

@@ -10,8 +10,8 @@
 use crate::dfs::Dfs;
 use crate::topology::NodeId;
 use bytes::Bytes;
+use clyde_common::lockorder::Mutex;
 use clyde_common::{FxHashMap, Result};
-use parking_lot::Mutex;
 
 /// Local (non-replicated) storage for each node of a cluster.
 pub struct NodeLocalStore {

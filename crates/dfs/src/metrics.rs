@@ -7,7 +7,7 @@
 //! actually delivers node-local scans.
 
 use crate::topology::NodeId;
-use parking_lot::Mutex;
+use clyde_common::lockorder::Mutex;
 
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 struct NodeIo {

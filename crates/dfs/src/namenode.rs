@@ -102,9 +102,12 @@ impl Namenode {
             .collect()
     }
 
-    /// All block metas of all files (used by re-replication).
+    /// All block metas of all files, in block-id order (used by
+    /// re-replication; sorted so recovery work never depends on hash order).
     pub fn all_blocks_mut(&mut self) -> impl Iterator<Item = &mut BlockMeta> {
-        self.blocks.values_mut()
+        let mut all: Vec<&mut BlockMeta> = self.blocks.values_mut().collect();
+        all.sort_by_key(|m| m.id.0);
+        all.into_iter()
     }
 
     pub fn num_files(&self) -> usize {

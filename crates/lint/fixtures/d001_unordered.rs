@@ -1,0 +1,12 @@
+//! D001 fixture: unordered hash-container iteration leaking into output.
+//! This file is NOT compiled; `clyde-lint --self-test` must flag it.
+
+use std::collections::HashMap;
+
+pub fn report(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k} = {v}\n"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! D002 fixture: wall-clock read outside the wall-phase module.
+//! This file is NOT compiled; `clyde-lint --self-test` must flag it.
+
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

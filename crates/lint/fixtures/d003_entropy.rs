@@ -1,0 +1,7 @@
+//! D003 fixture: entropy-seeded randomness.
+//! This file is NOT compiled; `clyde-lint --self-test` must flag it.
+
+pub fn pick(n: u64) -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..n)
+}

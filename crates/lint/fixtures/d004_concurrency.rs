@@ -1,0 +1,10 @@
+//! D004 fixture: concurrency primitive outside the audited modules.
+//! This file is NOT compiled; `clyde-lint --self-test` must flag it.
+
+use std::sync::Mutex;
+
+pub static SHARED: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn push(v: u64) {
+    SHARED.lock().unwrap().push(v);
+}

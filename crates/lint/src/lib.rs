@@ -1,0 +1,815 @@
+//! `clyde-lint`: the determinism & concurrency invariant catalog, enforced
+//! by lightweight source scanning.
+//!
+//! The workspace's load-bearing guarantee is that traces, metric snapshots,
+//! and query results are byte-identical across runs, fault plans, and thread
+//! counts. That property is easy to break silently — iterate a `HashMap`
+//! into a report, read the wall clock in a cost path, seed an RNG from
+//! entropy — so this crate checks it mechanically on every CI run:
+//!
+//! * **D001 `unordered`** — no unordered `HashMap`/`HashSet` iteration may
+//!   feed output. Every iteration over a hash container must be sorted
+//!   nearby (`.sort*()` within the next few lines, or collected into a
+//!   `BTreeMap`/`BTreeSet`), end in an order-insensitive reduction
+//!   (`sum`/`count`/`min`/`max`/`all`/`any`) on the same line, or carry an
+//!   explicit pragma naming why the order cannot escape.
+//! * **D002 `wallclock`** — `Instant::now` / `SystemTime` are banned outside
+//!   the audited wall-phase module (`crates/common/src/obs/wall.rs`);
+//!   everything else measures wall time through `WallTimer`.
+//! * **D003 `entropy`** — no entropy-seeded randomness (`thread_rng`,
+//!   `from_entropy`, `OsRng`, `RandomState`, …). All randomness must flow
+//!   from explicit seeds through the splitmix64 plumbing
+//!   (`crates/mapred/src/fault.rs`, `SsbGen`).
+//! * **D004 `concurrency`** — `thread::spawn`/`thread::scope`, `Mutex`,
+//!   `RwLock`, and `Condvar` only appear in the audited concurrency modules
+//!   (the runners, the engine, the lock-order checker, and the handful of
+//!   shared-state holders listed in [`D004_AUDITED`]), so shared mutable
+//!   state cannot creep into task code paths unreviewed.
+//!
+//! Violations are suppressed by a pragma on the offending line or the line
+//! directly above:
+//!
+//! ```text
+//! // clyde-lint: allow(unordered, reason=order-insensitive fold into counter)
+//! ```
+//!
+//! The reason is mandatory; a pragma without one is itself an error (P001).
+//! Scanning is line/token based over comment- and string-stripped source —
+//! deliberately not a rustc plugin, so it runs in milliseconds with no
+//! nightly dependency and its rules stay greppable.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The invariant catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D001: unordered hash-container iteration.
+    Unordered,
+    /// D002: wall-clock read outside the wall-phase module.
+    WallClock,
+    /// D003: entropy-seeded randomness.
+    Entropy,
+    /// D004: concurrency primitive outside an audited module.
+    Concurrency,
+    /// P001: malformed `clyde-lint` pragma.
+    BadPragma,
+}
+
+impl Rule {
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Unordered => "D001",
+            Rule::WallClock => "D002",
+            Rule::Entropy => "D003",
+            Rule::Concurrency => "D004",
+            Rule::BadPragma => "P001",
+        }
+    }
+
+    /// The name used in `allow(...)` pragmas.
+    pub fn pragma_name(self) -> &'static str {
+        match self {
+            Rule::Unordered => "unordered",
+            Rule::WallClock => "wallclock",
+            Rule::Entropy => "entropy",
+            Rule::Concurrency => "concurrency",
+            Rule::BadPragma => "pragma",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding: `file:line: CODE message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Modules allowed to read the wall clock (D002).
+pub const D002_ALLOWED: &[&str] = &["crates/common/src/obs/wall.rs"];
+
+/// Audited concurrency modules (D004): every `Mutex`/`RwLock`/spawn site in
+/// these files has been reviewed for lock ordering (and runs under the
+/// debug-build lock-order checker); everything else must stay lock-free.
+pub const D004_AUDITED: &[&str] = &[
+    // The checker itself and the observability hub's internal state.
+    "crates/common/src/lockorder.rs",
+    "crates/common/src/obs/mod.rs",
+    "crates/common/src/obs/span.rs",
+    "crates/common/src/obs/metrics.rs",
+    // The multi-threaded map runner (paper Figure 5) and parallel builds.
+    "crates/core/src/mtrunner.rs",
+    "crates/core/src/hashtable.rs",
+    // The MapReduce engine, task context, and distributed cache.
+    "crates/mapred/src/engine.rs",
+    "crates/mapred/src/task.rs",
+    "crates/mapred/src/distcache.rs",
+    // DFS shared state: block stores, namespace, per-node I/O counters.
+    "crates/dfs/src/local.rs",
+    "crates/dfs/src/dfs.rs",
+    "crates/dfs/src/metrics.rs",
+];
+
+/// A parsed `allow(rule, reason=...)` suppression pragma.
+#[derive(Debug, Clone)]
+struct Pragma {
+    line: usize,
+    rule_name: String,
+}
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure, so rule patterns never match prose or literals. Returns the
+/// masked text plus every comment with its line number (for pragma parsing).
+fn mask_source(src: &str) -> (String, Vec<(usize, String)>) {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut cur_comment = String::new();
+    let mut comment_line = 0usize;
+    let mut line = 1usize;
+    let mut st = St::Code;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    comment_line = line;
+                    cur_comment.clear();
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a lifetime is 'ident not
+                    // followed by a closing quote.
+                    let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                        && b.get(i + 2) != Some(&'\'');
+                    if is_lifetime {
+                        out.push(c);
+                    } else {
+                        st = St::Char;
+                        out.push(' ');
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    out.push('\n');
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    comments.push((comment_line, std::mem::take(&mut cur_comment)));
+                    st = St::Code;
+                    line += 1;
+                    out.push('\n');
+                } else {
+                    cur_comment.push(c);
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    line += 1;
+                    out.push('\n');
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    if next == Some('\n') {
+                        line += 1;
+                        out.pop();
+                        out.pop();
+                        out.push_str(" \n");
+                    }
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push(' ');
+                } else if c == '\n' {
+                    line += 1;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && b.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                    out.push(' ');
+                } else if c == '\n' {
+                    line += 1;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '\'' {
+                    st = St::Code;
+                    out.push(' ');
+                } else if c == '\n' {
+                    // Unterminated char (really a lifetime in odd position).
+                    st = St::Code;
+                    line += 1;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    if st == St::LineComment {
+        comments.push((comment_line, cur_comment));
+    }
+    (out, comments)
+}
+
+/// Parse pragmas out of the file's comments. Malformed pragmas become P001
+/// violations.
+fn parse_pragmas(
+    file: &Path,
+    comments: &[(usize, String)],
+    violations: &mut Vec<Violation>,
+) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for (line, text) in comments {
+        let Some(pos) = text.find("clyde-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "clyde-lint:".len()..].trim();
+        let ok = (|| -> Option<Pragma> {
+            let body = rest.strip_prefix("allow(")?;
+            let body = body.strip_suffix(')').unwrap_or(body);
+            let (rule_name, reason_part) = body.split_once(',')?;
+            let reason = reason_part.trim().strip_prefix("reason=")?;
+            if reason.trim().is_empty() {
+                return None;
+            }
+            let rule_name = rule_name.trim().to_string();
+            let known = ["unordered", "wallclock", "entropy", "concurrency"];
+            if !known.contains(&rule_name.as_str()) {
+                return None;
+            }
+            Some(Pragma {
+                line: *line,
+                rule_name,
+            })
+        })();
+        match ok {
+            Some(p) => pragmas.push(p),
+            None => violations.push(Violation {
+                file: file.to_path_buf(),
+                line: *line,
+                rule: Rule::BadPragma,
+                message: format!(
+                    "malformed pragma `{}` — expected \
+                     `clyde-lint: allow(<unordered|wallclock|entropy|concurrency>, reason=...)` \
+                     with a non-empty reason",
+                    rest
+                ),
+            }),
+        }
+    }
+    pragmas
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `needle` occur in `hay` bounded by non-identifier characters?
+fn contains_token(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !is_ident_char(hay[..abs].chars().next_back().unwrap());
+        let after = hay[abs + needle.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Collect identifiers bound to hash containers in this file: `name:
+/// FxHashMap<...>` declarations (lets, struct fields, parameters) and
+/// `let name = FxHashMap::default()`-style initializations.
+fn hash_container_names(masked: &str) -> Vec<String> {
+    const TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+    let mut names: Vec<String> = Vec::new();
+    for line in masked.lines() {
+        for ty in TYPES {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(ty) {
+                let abs = start + pos;
+                start = abs + ty.len();
+                let before = &line[..abs];
+                if before
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| is_ident_char(c) && c != ':')
+                {
+                    continue; // part of a longer identifier
+                }
+                let name = if line[abs + ty.len()..].trim_start().starts_with("::") {
+                    // `let [mut] name = FxHashMap::default()`
+                    before
+                        .rfind('=')
+                        .map(|eq| before[..eq].trim_end())
+                        .map(|d| {
+                            d.rsplit(|c: char| !is_ident_char(c))
+                                .next()
+                                .unwrap_or("")
+                                .to_string()
+                        })
+                } else {
+                    // `name: [wrappers<]FxHashMap<...>` — walk back past `:`
+                    // and any generic wrappers (`Mutex<`, `Arc<`, `&`, …).
+                    before.rfind(':').map(|colon| {
+                        let mut d = before[..colon].trim_end();
+                        if d.ends_with(':') {
+                            d = d[..d.len() - 1].trim_end(); // `::` path, not a decl
+                            let _ = d;
+                            return String::new();
+                        }
+                        d.rsplit(|c: char| !is_ident_char(c))
+                            .next()
+                            .unwrap_or("")
+                            .to_string()
+                    })
+                };
+                if let Some(n) = name {
+                    if !n.is_empty()
+                        && !n.chars().next().unwrap().is_numeric()
+                        && n != "mut"
+                        && !names.contains(&n)
+                    {
+                        names.push(n);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Suffixes after a container name that constitute iteration.
+const ITER_SUFFIXES: [&str; 6] = [
+    ".iter()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+];
+
+/// Same-line terminal reductions that are insensitive to iteration order.
+const ORDER_FREE: [&str; 8] = [
+    ".sum()",
+    ".sum::<",
+    ".count()",
+    ".min()",
+    ".max()",
+    ".min_by",
+    ".max_by",
+    ".is_empty()",
+];
+
+/// Sort/ordered-collect patterns that discharge D001 when they appear on the
+/// flagged line or within the next `D001_WINDOW` lines.
+const SORTED_NEARBY: [&str; 7] = [
+    ".sort()",
+    ".sort_by",
+    ".sort_unstable",
+    ".sorted()",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+const D001_WINDOW: usize = 4;
+
+fn d001_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
+    let names = hash_container_names(masked);
+    if names.is_empty() {
+        return;
+    }
+    let lines: Vec<&str> = masked.lines().collect();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut hit: Option<String> = None;
+        for name in &names {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(name.as_str()) {
+                let abs = start + pos;
+                start = abs + name.len();
+                let before_ok =
+                    abs == 0 || !is_ident_char(line[..abs].chars().next_back().unwrap());
+                if !before_ok {
+                    continue;
+                }
+                let after = &line[abs + name.len()..];
+                if ITER_SUFFIXES.iter().any(|s| after.starts_with(s)) {
+                    hit = Some(format!("{name}{}", iter_suffix(after)));
+                    break;
+                }
+                // `for x in [&[mut ]]name [{...]` — direct IntoIterator use.
+                let head = &line[..abs];
+                let head_t = head.trim_end();
+                if (head_t.ends_with(" in") || head_t.ends_with("in &") || head_t.ends_with("&mut"))
+                    && line.contains("for ")
+                    && (after.trim_start().starts_with('{') || after.trim_end().is_empty())
+                {
+                    hit = Some(format!("for _ in {name}"));
+                    break;
+                }
+            }
+            if hit.is_some() {
+                break;
+            }
+        }
+        let Some(site) = hit else { continue };
+        // Discharged by an order-insensitive reduction on the same line?
+        if ORDER_FREE.iter().any(|p| line.contains(p)) {
+            continue;
+        }
+        // Discharged by sorting/ordered-collection nearby?
+        let window_end = (idx + 1 + D001_WINDOW).min(lines.len());
+        if lines[idx..window_end]
+            .iter()
+            .any(|l| SORTED_NEARBY.iter().any(|p| l.contains(p)))
+        {
+            continue;
+        }
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line: idx + 1,
+            rule: Rule::Unordered,
+            message: format!(
+                "unordered hash-container iteration `{site}` may leak nondeterministic \
+                 order into output — sort nearby, collect into a BTreeMap/BTreeSet, or \
+                 pragma with a reason the order cannot escape"
+            ),
+        });
+    }
+}
+
+fn iter_suffix(after: &str) -> &'static str {
+    for s in ITER_SUFFIXES {
+        if after.starts_with(s) {
+            return s;
+        }
+    }
+    ""
+}
+
+fn rel_allowed(file: &Path, allowlist: &[&str]) -> bool {
+    let norm: String = file
+        .to_string_lossy()
+        .replace('\\', "/")
+        .trim_start_matches("./")
+        .to_string();
+    allowlist.iter().any(|a| norm.ends_with(a))
+}
+
+fn d002_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
+    if rel_allowed(file, D002_ALLOWED) {
+        return;
+    }
+    const PATTERNS: [&str; 4] = [
+        "Instant::now",
+        "SystemTime",
+        "std::time::Instant",
+        "time::Instant",
+    ];
+    for (idx, line) in masked.lines().enumerate() {
+        if let Some(p) = PATTERNS.iter().find(|p| line.contains(*p)) {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::WallClock,
+                message: format!(
+                    "`{p}` outside the wall-phase module — measure through \
+                     clyde_common::obs::WallTimer (crates/common/src/obs/wall.rs) instead"
+                ),
+            });
+        }
+    }
+}
+
+fn d003_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
+    const PATTERNS: [&str; 6] = [
+        "thread_rng",
+        "from_entropy",
+        "OsRng",
+        "getrandom",
+        "RandomState",
+        "rand::random",
+    ];
+    for (idx, line) in masked.lines().enumerate() {
+        if let Some(p) = PATTERNS.iter().find(|p| contains_token(line, p)) {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::Entropy,
+                message: format!(
+                    "entropy-seeded randomness `{p}` — all RNG must flow from explicit \
+                     seeds (splitmix64 plumbing in crates/mapred/src/fault.rs, SsbGen)"
+                ),
+            });
+        }
+    }
+}
+
+fn d004_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
+    if rel_allowed(file, D004_AUDITED) {
+        return;
+    }
+    const PATTERNS: [&str; 5] = [
+        "thread::spawn",
+        "thread::scope",
+        "Mutex",
+        "RwLock",
+        "Condvar",
+    ];
+    for (idx, line) in masked.lines().enumerate() {
+        if let Some(p) = PATTERNS
+            .iter()
+            .find(|p| line.contains(*p) && (p.contains("::") || contains_token(line, p)))
+        {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::Concurrency,
+                message: format!(
+                    "concurrency primitive `{p}` outside the audited modules — shared \
+                     mutable state belongs in the runners/engine/DFS state holders \
+                     (see clyde_lint::D004_AUDITED); task code paths stay lock-free"
+                ),
+            });
+        }
+    }
+}
+
+/// Scan one file's source text. `file` is used for allowlisting and
+/// reporting only.
+pub fn scan_source(file: &Path, src: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (masked, comments) = mask_source(src);
+    let pragmas = parse_pragmas(file, &comments, &mut violations);
+    d001_scan(file, &masked, &mut violations);
+    d002_scan(file, &masked, &mut violations);
+    d003_scan(file, &masked, &mut violations);
+    d004_scan(file, &masked, &mut violations);
+    // A pragma suppresses matching violations on its own line and the line
+    // directly below (so it can ride above the offending statement).
+    violations.retain(|v| {
+        v.rule == Rule::BadPragma
+            || !pragmas.iter().any(|p| {
+                p.rule_name == v.rule.pragma_name() && (p.line == v.line || p.line + 1 == v.line)
+            })
+    });
+    violations.sort();
+    violations
+}
+
+/// Recursively collect the `.rs` files the lint covers.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.retain(|f| {
+        let s = f.to_string_lossy().replace('\\', "/");
+        !s.contains("/target/") && !s.contains("/fixtures/") && !s.contains("/shims/")
+    });
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every covered file under `root`; violations come back sorted by
+/// (file, line) so the report itself is deterministic.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for file in collect_files(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        all.extend(scan_source(&rel, &src));
+    }
+    all.sort();
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_source(Path::new("crates/x/src/lib.rs"), src)
+    }
+
+    fn rules(vs: &[Violation]) -> Vec<Rule> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_source_passes() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            fn f(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+                m.values().copied().collect()
+            }
+        "#;
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn d001_flags_unsorted_iteration() {
+        let src =
+            "fn f(m: &FxHashMap<u32, u32>) -> Vec<u32> {\n    m.values().copied().collect()\n}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::Unordered]);
+    }
+
+    #[test]
+    fn d001_accepts_sorted_collection() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) -> Vec<u32> {\n    let mut v: Vec<u32> = m.values().copied().collect();\n    v.sort();\n    v\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn d001_accepts_order_free_reduction() {
+        let src = "fn f(m: &FxHashMap<u32, u64>) -> u64 {\n    m.values().sum()\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn d001_sees_for_loops() {
+        let src = "fn f(set: FxHashSet<u32>) {\n    for x in set {\n        println!(\"{x}\");\n    }\n}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::Unordered]);
+    }
+
+    #[test]
+    fn d002_flags_instant_and_allows_wall_module() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::WallClock]);
+        assert!(scan_source(Path::new("crates/common/src/obs/wall.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn d003_flags_entropy() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::Entropy]);
+    }
+
+    #[test]
+    fn d004_flags_unaudited_mutex() {
+        let src = "use std::sync::Mutex;\nstatic S: Mutex<u32> = Mutex::new(0);\n";
+        let vs = scan(src);
+        assert!(!vs.is_empty());
+        assert!(vs.iter().all(|v| v.rule == Rule::Concurrency));
+        let audited = scan_source(Path::new("crates/mapred/src/engine.rs"), src);
+        assert!(audited.is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_with_reason() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) -> u64 {\n    // clyde-lint: allow(unordered, reason=commutative fold)\n    m.values().fold(0u64, |a, &b| a ^ b as u64)\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_an_error() {
+        let src = "// clyde-lint: allow(unordered)\nfn f() {}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::BadPragma]);
+    }
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let src = "fn f() {\n    // HashMap iteration and Instant::now in prose\n    let s = \"Mutex thread_rng SystemTime\";\n    let _ = s;\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "fn f() -> &'static str {\n    r#\"Instant::now Mutex\"#\n}\n";
+        assert!(scan(src).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! `clyde-lint` CLI.
+//!
+//! ```text
+//! clyde-lint [--root <dir>]   # scan the workspace; exit 1 on violations
+//! clyde-lint --self-test      # each fixture must trigger exactly its rule
+//! ```
+
+use clyde_lint::{scan_source, scan_workspace, Rule};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut self_test = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => return usage(),
+                }
+            }
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                println!(
+                    "clyde-lint: determinism & concurrency invariants (D001-D004)\n\
+                     usage: clyde-lint [--root <dir>] [--self-test]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if self_test {
+        return run_self_test(&root);
+    }
+
+    match scan_workspace(&root) {
+        Err(e) => {
+            eprintln!("clyde-lint: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+        Ok(violations) if violations.is_empty() => {
+            println!("clyde-lint: OK — no determinism/concurrency violations");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("clyde-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: clyde-lint [--root <dir>] [--self-test]");
+    ExitCode::from(2)
+}
+
+/// Every fixture under `crates/lint/fixtures/` must trigger exactly the rule
+/// it is named for; `clean.rs` must trigger nothing. This is the lint
+/// linting itself: if a rule regresses into silence, CI fails here.
+fn run_self_test(root: &Path) -> ExitCode {
+    let fixtures = root.join("crates/lint/fixtures");
+    let cases: [(&str, Option<Rule>); 5] = [
+        ("d001_unordered.rs", Some(Rule::Unordered)),
+        ("d002_wallclock.rs", Some(Rule::WallClock)),
+        ("d003_entropy.rs", Some(Rule::Entropy)),
+        ("d004_concurrency.rs", Some(Rule::Concurrency)),
+        ("clean.rs", None),
+    ];
+    let mut failed = false;
+    for (name, expect) in cases {
+        let path = fixtures.join(name);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("self-test FAIL: cannot read {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        // Fixtures are scanned under a neutral path so no allowlist applies.
+        let violations = scan_source(Path::new("crates/fixture/src/lib.rs"), &src);
+        match expect {
+            None => {
+                if violations.is_empty() {
+                    println!("self-test OK: {name} is clean");
+                } else {
+                    eprintln!("self-test FAIL: {name} should be clean, got:");
+                    for v in &violations {
+                        eprintln!("  {v}");
+                    }
+                    failed = true;
+                }
+            }
+            Some(rule) => {
+                let hit = violations.iter().any(|v| v.rule == rule);
+                let stray: Vec<_> = violations.iter().filter(|v| v.rule != rule).collect();
+                if hit && stray.is_empty() {
+                    println!(
+                        "self-test OK: {name} triggers {} ({} site(s))",
+                        rule.code(),
+                        violations.len()
+                    );
+                } else {
+                    failed = true;
+                    if !hit {
+                        eprintln!("self-test FAIL: {name} did not trigger {}", rule.code());
+                    }
+                    for v in stray {
+                        eprintln!("self-test FAIL: {name} stray violation: {v}");
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("clyde-lint: self-test OK");
+        ExitCode::SUCCESS
+    }
+}

@@ -13,9 +13,9 @@
 //! (they are CPU, not cache, costs).
 
 use bytes::Bytes;
+use clyde_common::lockorder::Mutex;
 use clyde_common::{ClydeError, FxHashMap, FxHashSet, Result};
 use clyde_dfs::NodeId;
-use parking_lot::Mutex;
 
 /// A per-job broadcast channel from the job client to every node.
 #[derive(Default)]

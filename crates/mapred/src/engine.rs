@@ -25,12 +25,11 @@ use crate::shuffle;
 use crate::task::{
     MapOutputBuffer, MapTaskContext, MemoryLedger, MemoryTracker, NodeState, TaskIo,
 };
-use clyde_common::obs::{Obs, Phase, TaskKind};
+use clyde_common::lockorder::Mutex;
+use clyde_common::obs::{Obs, Phase, TaskKind, WallTimer};
 use clyde_common::{keycodec, rowcodec, ClydeError, Result, Row};
 use clyde_dfs::{ClusterSpec, Dfs, NodeId, NodeLocalStore};
-use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A node is blacklisted for further retries once this many of its attempts
 /// have failed within one job (Hadoop's `mapred.max.tracker.failures`).
@@ -74,6 +73,7 @@ struct MapTaskEnv<'a> {
     ledger: &'a Arc<MemoryLedger>,
     concurrency: u32,
     threads: u32,
+    host_threads: u32,
     map_only: bool,
     params: &'a CostParams,
     cluster: &'a ClusterSpec,
@@ -84,7 +84,7 @@ struct MapTaskEnv<'a> {
 impl MapTaskEnv<'_> {
     /// Execute one attempt of one map task on `node`.
     fn exec(&self, task_idx: usize, node: NodeId) -> Result<TaskOutput> {
-        let wall_start = Instant::now();
+        let wall_start = WallTimer::start();
         let split = &self.splits[task_idx];
         let io = TaskIo::new(Arc::clone(self.dfs), node);
         let out = Arc::new(MapOutputBuffer::new());
@@ -105,6 +105,7 @@ impl MapTaskEnv<'_> {
             io: io.clone(),
             node,
             threads: self.threads,
+            host_threads: self.host_threads,
             slot_concurrency: self.concurrency,
             node_state: state,
             memory: Arc::clone(&memory),
@@ -169,7 +170,7 @@ impl MapTaskEnv<'_> {
             cost: task_cost,
             node,
             output_file,
-            wall_ns: wall_start.elapsed().as_nanos() as u64,
+            wall_ns: wall_start.elapsed_ns(),
             wall_phases,
             speculative: false,
         })
@@ -323,6 +324,7 @@ impl Engine {
         let concurrency = scheduler::concurrency_per_node(&cluster, spec.declared_task_memory);
         let assignment = scheduler::assign_map_tasks(&splits, &cluster);
         let threads = spec.task_threads.unwrap_or(1).max(1);
+        let host_threads = spec.host_threads.unwrap_or(threads).max(1);
         let max_attempts = spec.max_task_attempts.max(1);
 
         let node_states: Vec<Arc<NodeState>> = (0..n).map(|_| Arc::new(NodeState::new())).collect();
@@ -341,6 +343,7 @@ impl Engine {
             ledger: &ledger,
             concurrency,
             threads,
+            host_threads,
             map_only: spec.reducer.is_none(),
             params: &self.params,
             cluster: &cluster,
@@ -699,7 +702,7 @@ impl Engine {
                 })
                 .collect();
             for (r, node) in reduce_nodes.iter().enumerate() {
-                let wall_start = Instant::now();
+                let wall_start = WallTimer::start();
                 let task_runs = std::mem::take(&mut runs[r]);
                 let mut cost = TaskCost::new();
                 cost.merge_runs = task_runs.len() as u64;
@@ -720,7 +723,7 @@ impl Engine {
                 reduce_tasks.push(TaskProfile {
                     node: *node,
                     cost,
-                    wall_ns: wall_start.elapsed().as_nanos() as u64,
+                    wall_ns: wall_start.elapsed_ns(),
                     speculative: false,
                 });
             }

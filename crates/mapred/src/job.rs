@@ -39,6 +39,13 @@ pub struct JobSpec {
     pub declared_task_memory: u64,
     /// Threads each map task may use. `None` = 1 (Hadoop default).
     pub task_threads: Option<u32>,
+    /// Override for the number of *host* OS threads a multi-threaded runner
+    /// actually spawns. Purely an execution knob: the cost model keeps
+    /// pricing with `task_threads`, so results, simulated times, and traces
+    /// must be byte-identical for any value (the thread-count-invariance
+    /// tests and `shadow_check` enforce this). `None` = same as
+    /// `task_threads`.
+    pub host_threads: Option<u32>,
     /// Whether per-node state survives across the job's tasks (JVM reuse).
     pub reuse_jvm: bool,
     /// Maximum execution attempts per map task (Hadoop defaults to 4).
@@ -66,6 +73,7 @@ impl JobSpec {
             output: OutputSpec::Memory,
             declared_task_memory: 0,
             task_threads: None,
+            host_threads: None,
             reuse_jvm: true,
             max_task_attempts: 4,
             faults: None,

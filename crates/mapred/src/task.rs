@@ -6,10 +6,10 @@ use crate::cost::TaskCost;
 use crate::distcache::DistCache;
 use crate::input::{InputFormat, InputSplit};
 use bytes::Bytes;
+use clyde_common::lockorder::Mutex;
 use clyde_common::obs::Phase;
 use clyde_common::{keycodec, ClydeError, FxHashMap, Result, Row};
 use clyde_dfs::{Dfs, NodeId, NodeLocalStore, ScanStats};
-use parking_lot::Mutex;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -231,7 +231,12 @@ pub struct MapTaskContext<'a> {
     pub node: NodeId,
     /// Threads this task may use (1 for ordinary tasks; all the node's map
     /// slots for Clydesdale's one-task-per-node jobs — Section 5.2's point 3).
+    /// This is the number the cost model prices with.
     pub threads: u32,
+    /// Host OS threads the runner actually spawns. Usually equals `threads`;
+    /// the determinism harness varies it to prove results don't depend on
+    /// real scheduling.
+    pub host_threads: u32,
     /// Concurrently scheduled tasks of this job on this node (slot pressure);
     /// used to model per-slot memory duplication.
     pub slot_concurrency: u32,

@@ -1,0 +1,92 @@
+//! Thread-count invariance: the determinism contract the whole repo leans
+//! on, asserted end to end.
+//!
+//! `MtMapRunner` may execute with any number of *host* OS threads — the
+//! paper's simulated cluster still has 6 map slots, and the cost model
+//! prices with that — so query results, simulated-time spans (as exported
+//! Chrome traces), and metric snapshots (wall-clock metrics excluded) must
+//! be byte-identical for 1, 2, and 8 host threads, and across repeated runs.
+
+use clyde_common::{rowcodec, Obs};
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::loader::{self, SsbLayout};
+use clyde_ssb::query_by_id;
+use clydesdale::Clydesdale;
+use std::sync::Arc;
+
+/// One full Q2.1 execution on a fresh cluster; returns the deterministic
+/// artifacts (result bytes, chrome trace, wall-free metrics rendering).
+fn run_q21(host_threads: Option<u32>) -> (Vec<u8>, String, String) {
+    let dfs = Dfs::new(
+        ClusterSpec::tiny(3),
+        DfsOptions {
+            block_size: 1 << 20,
+            replication: 2,
+            policy: Box::new(ColocatingPlacement),
+        },
+    );
+    let layout = SsbLayout::default();
+    loader::load(
+        &dfs,
+        SsbGen::new(0.005, 46),
+        &layout,
+        &loader::LoadOpts {
+            rows_per_group: 2_000,
+            cif: true,
+            rcfile: false,
+            text: false,
+            cluster_by_date: true,
+        },
+    )
+    .unwrap();
+    let obs = Obs::enabled();
+    let mut clyde = Clydesdale::new(Arc::clone(&dfs), layout).with_obs(Arc::clone(&obs));
+    if let Some(t) = host_threads {
+        clyde = clyde.with_host_threads(t);
+    }
+    clyde.warm_dimension_cache().unwrap();
+    let q = query_by_id("Q2.1").unwrap();
+    let r = clyde.query(&q).unwrap();
+    let metrics: String = obs
+        .metrics()
+        .snapshot()
+        .render()
+        .lines()
+        .filter(|l| !l.starts_with("mapred.task_wall"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    (rowcodec::write_rows(&r.rows), obs.chrome_trace(), metrics)
+}
+
+#[test]
+fn q21_invariant_across_host_thread_counts() {
+    let (rows, trace, metrics) = run_q21(None);
+    assert!(!rows.is_empty());
+    assert!(trace.contains("traceEvents"));
+    assert!(metrics.contains("mapred.map_tasks"));
+    for t in [1u32, 2, 8] {
+        let (rows_t, trace_t, metrics_t) = run_q21(Some(t));
+        assert_eq!(
+            rows, rows_t,
+            "results must not depend on host threads ({t})"
+        );
+        assert_eq!(
+            trace, trace_t,
+            "simulated-time spans must not depend on host threads ({t})"
+        );
+        assert_eq!(
+            metrics, metrics_t,
+            "metric snapshots must not depend on host threads ({t})"
+        );
+    }
+}
+
+#[test]
+fn q21_dual_run_is_byte_identical() {
+    let first = run_q21(None);
+    let second = run_q21(None);
+    assert_eq!(first.0, second.0, "result rows");
+    assert_eq!(first.1, second.1, "chrome trace");
+    assert_eq!(first.2, second.2, "metric snapshot");
+}

@@ -1,39 +1,100 @@
-//! Micro-benchmark of the probe kernels: Q2.1 rows/sec, scalar vs
-//! vectorized, over in-memory column blocks (no DFS, no MapReduce — just
-//! the inner loop the map task runs).
+//! Micro-benchmark of the probe kernels over a four-query suite (Q1.1,
+//! Q2.1, Q3.2, Q4.1): rows/sec, scalar vs vectorized, plus a
+//! per-optimization ablation table — all over in-memory column blocks (no
+//! DFS, no MapReduce — just the inner loop the map task runs).
 //!
-//! Usage: `bench_probe [SF] [--json PATH]`. With `--json` the result is
-//! also written as a small JSON document (see `BENCH_probe.json` at the
-//! repo root for a committed run).
+//! Usage: `bench_probe [SF] [--json PATH] [--gate PATH]`.
+//!
+//! * `--json PATH` writes the suite results as a JSON document (see
+//!   `BENCH_probe.json` at the repo root for a committed run).
+//! * `--gate PATH` reads a committed run and **fails (exit 1) if any
+//!   query's measured speedup falls below 0.9× its recorded speedup** —
+//!   the CI regression gate.
+//!
+//! Timing: each measurement first calibrates a repetition count so one
+//! timed iteration runs at least [`MIN_ITER_SECS`], then times every
+//! variant once per round for [`TIMED_ITERS`] rounds. Raw rows/sec are
+//! best-of-rounds; the recorded `speedup` is the **median of same-round
+//! scalar/vectorized ratios**, which cancels machine-wide frequency drift
+//! out of the number the gate checks.
 
 use clyde_common::obs::WallTimer;
 use clyde_common::{FxHashMap, RowBlock, RowBlockBuilder};
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::{query_by_id, schema};
 use clydesdale::hashtable::DimTables;
+use clydesdale::planner::ROWS_PER_BLOCK;
 use clydesdale::probe::{
-    probe_block, probe_block_vec, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
+    probe_block, probe_block_vec, GroupAcc, GroupLayout, KernelOpts, ProbePlan, ProbeStats, SelBuf,
 };
 
-const BLOCK_ROWS: usize = 4096;
+/// The benchmarked queries: one per SSB flight, covering the kernel's
+/// shapes — fact predicates + dense single group (Q1.1), no fact
+/// predicates + fused first join (Q2.1), selective two-dim filters
+/// (Q3.2), and a four-join probe (Q4.1).
+const SUITE: [&str; 4] = ["Q1.1", "Q2.1", "Q3.2", "Q4.1"];
+
+/// A named benchmark variant: label plus a closure running one full pass
+/// over the data and returning the pass's [`ProbeStats`].
+type Pass<'a> = (&'static str, Box<dyn FnMut() -> ProbeStats + 'a>);
+
+/// Minimum wall time of one timed iteration; repetitions are scaled up
+/// until a single iteration takes at least this long.
+const MIN_ITER_SECS: f64 = 0.03;
+const TIMED_ITERS: usize = 9;
 const WARMUP_ITERS: usize = 2;
-const TIMED_ITERS: usize = 5;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sf: f64 = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.01);
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1).cloned());
+/// The per-optimization ablation points reported per query: all layers on,
+/// each layer individually off, and every layer off.
+fn ablation_points() -> Vec<(&'static str, KernelOpts)> {
+    let on = KernelOpts::all_on();
+    vec![
+        ("all-on", on),
+        (
+            "no-simd-compaction",
+            KernelOpts {
+                simd_compaction: false,
+                ..on
+            },
+        ),
+        (
+            "no-prefetch",
+            KernelOpts {
+                prefetch: false,
+                ..on
+            },
+        ),
+        (
+            "no-zone-fullcover",
+            KernelOpts {
+                zone_fullcover: false,
+                ..on
+            },
+        ),
+        ("none", KernelOpts::none()),
+    ]
+}
 
-    eprintln!("generating SSB at SF {sf}...");
-    let data = SsbGen::new(sf, 46).gen_all();
-    let q = query_by_id("Q2.1").expect("known query");
+struct QueryFixture {
+    qid: &'static str,
+    plan: ProbePlan,
+    tables: DimTables,
+    blocks: Vec<RowBlock>,
+    rows: u64,
+}
+
+struct QueryResult {
+    qid: &'static str,
+    rows: u64,
+    scalar_rps: f64,
+    vec_rps: f64,
+    speedup: f64,
+    ablations: Vec<(&'static str, f64)>,
+    stats: ProbeStats,
+}
+
+fn build_fixture(data: &clyde_ssb::SsbData, qid: &'static str) -> QueryFixture {
+    let q = query_by_id(qid).expect("known query");
     let fact_schema = schema::lineorder_schema();
     let cols: Vec<usize> = q
         .fact_columns()
@@ -47,7 +108,7 @@ fn main() {
     let dtypes: Vec<_> = scan_schema.fields().iter().map(|f| f.dtype).collect();
     let blocks: Vec<RowBlock> = data
         .lineorder
-        .chunks(BLOCK_ROWS)
+        .chunks(ROWS_PER_BLOCK)
         .map(|chunk| {
             let mut b = RowBlockBuilder::new(&dtypes);
             for r in chunk {
@@ -56,76 +117,251 @@ fn main() {
             b.finish()
         })
         .collect();
-    let total_rows = data.lineorder.len() as u64;
-    eprintln!(
-        "probing {} rows in {} blocks of {} ({} timed iterations)...",
-        total_rows,
-        blocks.len(),
-        BLOCK_ROWS,
-        TIMED_ITERS
-    );
+    QueryFixture {
+        qid,
+        plan,
+        tables,
+        blocks,
+        rows: data.lineorder.len() as u64,
+    }
+}
 
-    // Best-of-N wall time for one full pass over every block.
-    let scalar_pass = || {
-        let mut acc = FxHashMap::default();
-        let mut stats = ProbeStats::default();
-        for b in &blocks {
-            probe_block(b, &plan, &tables, &mut acc, &mut stats).unwrap();
-        }
-        (acc.len(), stats)
-    };
-    let layout = GroupLayout::new(&plan, &tables).expect("packed key fits");
-    let vec_pass = || {
-        let mut acc = GroupAcc::new(&layout, &plan.aggregate);
-        let mut buf = SelBuf::default();
-        let mut stats = ProbeStats::default();
-        for b in &blocks {
-            probe_block_vec(b, &plan, &tables, &layout, &mut acc, &mut buf, &mut stats).unwrap();
-        }
-        (acc.entries().len(), stats)
-    };
-    let time_best = |f: &dyn Fn() -> (usize, ProbeStats)| -> (f64, usize, ProbeStats) {
+/// One variant's timing: per-round seconds for a single pass over the
+/// data (round times divided by the calibrated repetition count), plus the
+/// [`ProbeStats`] one pass produced.
+struct Timed {
+    rounds: Vec<f64>,
+    stats: ProbeStats,
+}
+
+impl Timed {
+    fn best_rps(&self, rows: u64) -> f64 {
+        rows as f64 / self.rounds.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Interleaved rounds: every variant is timed once per round, so CPU
+/// frequency drift and noisy neighbors hit all variants of a round alike
+/// instead of skewing whichever happened to run during a slow stretch.
+/// Repetition counts are calibrated per variant so one timed sample runs
+/// at least [`MIN_ITER_SECS`]. Returns per-round single-pass times per
+/// variant, in input order — ratios between variants should be computed
+/// round-by-round (see [`median_ratio`]), where drift mostly cancels.
+fn time_interleaved(passes: &mut [Pass<'_>]) -> Vec<Timed> {
+    let mut reps = Vec::with_capacity(passes.len());
+    let mut stats = Vec::with_capacity(passes.len());
+    for (_, pass) in passes.iter_mut() {
         for _ in 0..WARMUP_ITERS {
-            std::hint::black_box(f());
+            std::hint::black_box(pass());
         }
-        let mut best = f64::INFINITY;
-        let mut out = (0, ProbeStats::default());
-        for _ in 0..TIMED_ITERS {
+        let t = WallTimer::start();
+        let s = std::hint::black_box(pass());
+        let once = t.elapsed_s().max(1e-9);
+        reps.push(((MIN_ITER_SECS / once).ceil() as usize).max(1));
+        stats.push(s);
+    }
+    let mut rounds = vec![Vec::with_capacity(TIMED_ITERS); passes.len()];
+    for _ in 0..TIMED_ITERS {
+        for (v, (_, pass)) in passes.iter_mut().enumerate() {
             let t = WallTimer::start();
-            let r = std::hint::black_box(f());
-            best = best.min(t.elapsed_s());
-            out = r;
+            for _ in 0..reps[v] {
+                stats[v] = std::hint::black_box(pass());
+            }
+            rounds[v].push(t.elapsed_s() / reps[v] as f64);
         }
-        (best, out.0, out.1)
+    }
+    rounds
+        .into_iter()
+        .zip(stats)
+        .map(|(rounds, stats)| Timed { rounds, stats })
+        .collect()
+}
+
+/// Median over rounds of `base_time / variant_time` — the speedup of
+/// `variant` relative to `base`, with same-round pairing so machine-wide
+/// drift cancels out of the ratio.
+fn median_ratio(base: &Timed, variant: &Timed) -> f64 {
+    let mut ratios: Vec<f64> = base
+        .rounds
+        .iter()
+        .zip(&variant.rounds)
+        .map(|(b, v)| b / v)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ratios[ratios.len() / 2]
+}
+
+fn bench_query(fx: &QueryFixture) -> QueryResult {
+    let QueryFixture {
+        qid,
+        plan,
+        tables,
+        blocks,
+        rows,
+    } = fx;
+    let layout = GroupLayout::new(plan, tables).expect("packed key fits");
+    let mut passes: Vec<Pass<'_>> = Vec::new();
+    passes.push((
+        "scalar",
+        Box::new(|| {
+            let mut acc = FxHashMap::default();
+            let mut stats = ProbeStats::default();
+            for b in blocks {
+                probe_block(b, plan, tables, &mut acc, &mut stats).unwrap();
+            }
+            stats
+        }),
+    ));
+    for (label, opts) in ablation_points() {
+        let layout = &layout;
+        passes.push((
+            label,
+            Box::new(move || {
+                let mut acc = GroupAcc::new(layout, &plan.aggregate);
+                let mut buf = SelBuf::default();
+                let mut stats = ProbeStats::default();
+                for b in blocks {
+                    probe_block_vec(
+                        b, plan, tables, layout, &mut acc, &mut buf, &mut stats, opts,
+                    )
+                    .unwrap();
+                }
+                stats
+            }),
+        ));
+    }
+    let timed = time_interleaved(&mut passes);
+    let scalar = &timed[0];
+    let mut vec_rps = 0.0;
+    let mut speedup = 0.0;
+    let mut vec_stats = ProbeStats::default();
+    let mut ablations = Vec::new();
+    for ((label, _), t) in passes.iter().zip(&timed).skip(1) {
+        assert_eq!(
+            t.stats, scalar.stats,
+            "{qid} {label}: kernels must count identically (rows/probes/survivors)"
+        );
+        if *label == "all-on" {
+            vec_rps = t.best_rps(*rows);
+            speedup = median_ratio(scalar, t);
+            vec_stats = t.stats;
+        }
+        ablations.push((*label, t.best_rps(*rows)));
+    }
+    QueryResult {
+        qid,
+        rows: *rows,
+        scalar_rps: scalar.best_rps(*rows),
+        vec_rps,
+        speedup,
+        ablations,
+        stats: vec_stats,
+    }
+}
+
+/// Pull `"speedup": <num>` for `qid` out of a committed benchmark JSON.
+/// Hand-rolled on purpose (no serde in this workspace): finds the query's
+/// key, then the first `"speedup"` after it.
+fn recorded_speedup(json: &str, qid: &str) -> Option<f64> {
+    let key = format!("\"{qid}\"");
+    let at = json.find(&key)? + key.len();
+    let rest = &json[at..];
+    let sp = rest.find("\"speedup\"")?;
+    let after = &rest[sp + "\"speedup\"".len()..];
+    let colon = after.find(':')?;
+    let num: String = after[colon + 1..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf: f64 = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.01);
+    let flag_path = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
     };
+    let json_path = flag_path("--json");
+    let gate_path = flag_path("--gate");
 
-    let (scalar_s, scalar_groups, scalar_stats) = time_best(&scalar_pass);
-    let (vec_s, vec_groups, vec_stats) = time_best(&vec_pass);
-    assert_eq!(
-        scalar_stats, vec_stats,
-        "kernels must count identically (rows/probes/survivors)"
+    eprintln!("generating SSB at SF {sf}...");
+    let data = SsbGen::new(sf, 46).gen_all();
+    eprintln!(
+        "probing {} rows in blocks of {ROWS_PER_BLOCK} (best of {TIMED_ITERS}, \
+         >= {MIN_ITER_SECS}s per timed iteration)...",
+        data.lineorder.len()
     );
-    // Packed keys can out-number final groups (ids are per dimension row);
-    // rematerialization folds them, so only >= holds here.
-    assert!(vec_groups >= scalar_groups);
 
-    let scalar_rps = total_rows as f64 / scalar_s;
-    let vec_rps = total_rows as f64 / vec_s;
-    let speedup = vec_rps / scalar_rps;
-    println!("Q2.1 probe kernel, SF {sf} ({total_rows} fact rows):");
-    println!("  scalar:     {scalar_rps:>12.0} rows/s  ({scalar_s:.4}s per pass)");
-    println!("  vectorized: {vec_rps:>12.0} rows/s  ({vec_s:.4}s per pass)");
-    println!("  speedup:    {speedup:.2}x");
+    let mut results = Vec::new();
+    for qid in SUITE {
+        let fx = build_fixture(&data, qid);
+        let r = bench_query(&fx);
+        println!(
+            "{}: scalar {:>12.0} rows/s | vectorized {:>12.0} rows/s | speedup {:.2}x",
+            r.qid, r.scalar_rps, r.vec_rps, r.speedup
+        );
+        for (label, rps) in &r.ablations {
+            println!("    {label:<20} {rps:>12.0} rows/s");
+        }
+        results.push(r);
+    }
 
     if let Some(path) = json_path {
-        let json = format!(
-            "{{\n  \"query\": \"Q2.1\",\n  \"sf\": {sf},\n  \"fact_rows\": {total_rows},\n  \
-             \"block_rows\": {BLOCK_ROWS},\n  \"scalar_rows_per_s\": {scalar_rps:.0},\n  \
-             \"vectorized_rows_per_s\": {vec_rps:.0},\n  \"speedup\": {speedup:.2},\n  \
-             \"survivors\": {},\n  \"probes\": {}\n}}\n",
-            vec_stats.survivors, vec_stats.probes
-        );
-        std::fs::write(&path, json).expect("write json");
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"sf\": {sf},\n  \"block_rows\": {ROWS_PER_BLOCK},\n  \"queries\": {{\n"
+        ));
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\n      \"fact_rows\": {},\n      \"scalar_rows_per_s\": {:.0},\n      \
+                 \"vectorized_rows_per_s\": {:.0},\n      \"speedup\": {:.2},\n      \
+                 \"probes\": {},\n      \"survivors\": {},\n      \"ablations\": {{\n",
+                r.qid, r.rows, r.scalar_rps, r.vec_rps, r.speedup, r.stats.probes, r.stats.survivors
+            ));
+            for (j, (label, rps)) in r.ablations.iter().enumerate() {
+                let comma = if j + 1 < r.ablations.len() { "," } else { "" };
+                out.push_str(&format!("        \"{label}\": {rps:.0}{comma}\n"));
+            }
+            let comma = if i + 1 < results.len() { "," } else { "" };
+            out.push_str(&format!("      }}\n    }}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        std::fs::write(&path, out).expect("write json");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = gate_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("gate file {path}: {e}"));
+        let mut failed = false;
+        for r in &results {
+            let Some(recorded) = recorded_speedup(&committed, r.qid) else {
+                eprintln!("gate: {path} has no speedup for {}", r.qid);
+                failed = true;
+                continue;
+            };
+            let floor = recorded * 0.9;
+            let ok = r.speedup >= floor;
+            eprintln!(
+                "gate {}: measured {:.2}x vs recorded {recorded:.2}x (floor {floor:.2}x) — {}",
+                r.qid,
+                r.speedup,
+                if ok { "ok" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("bench gate FAILED: probe kernel regressed");
+            std::process::exit(1);
+        }
+        eprintln!("bench gate passed");
     }
 }

@@ -1,0 +1,126 @@
+//! Sorted string dictionaries for predicate compilation.
+//!
+//! The probe path's dimension predicates compare strings (`p_category =
+//! 'MFGR#12'`, `s_region = 'AMERICA'`, brand ranges). A [`SortedDict`] maps
+//! each distinct value of a column to a dense `u32` code assigned in
+//! *lexicographic* order, so:
+//!
+//! * equality compiles to one code compare (`code == c`), with a value
+//!   absent from the dictionary compiling to *never-matches*;
+//! * an inclusive string range `[lo, hi]` compiles to one inclusive code
+//!   range `[lo_code, hi_code]`, because sorted codes preserve order.
+//!
+//! This differs from [`crate::encoding::Encoding::Dict`], whose wire
+//! dictionary is first-appearance-ordered for streaming writes; the sorted
+//! variant exists for compute, not storage.
+
+use std::sync::Arc;
+
+/// A sorted dictionary over the distinct values of one string column.
+#[derive(Debug, Clone, Default)]
+pub struct SortedDict {
+    values: Vec<Arc<str>>,
+}
+
+impl SortedDict {
+    /// Build from any value stream; duplicates collapse, order is sorted.
+    pub fn build<'a, I: IntoIterator<Item = &'a str>>(values: I) -> SortedDict {
+        let mut values: Vec<Arc<str>> = values.into_iter().map(Arc::from).collect();
+        values.sort();
+        values.dedup();
+        SortedDict { values }
+    }
+
+    /// The code of `value`, or `None` if it never occurs in the column.
+    #[inline]
+    pub fn code_of(&self, value: &str) -> Option<u32> {
+        self.values
+            .binary_search_by(|v| v.as_ref().cmp(value))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Encode every value of the column (must come from the same stream the
+    /// dictionary was built over, so lookups cannot miss).
+    pub fn encode<'a, I: IntoIterator<Item = &'a str>>(&self, values: I) -> Vec<u32> {
+        values
+            .into_iter()
+            .map(|v| self.code_of(v).expect("value was in the build stream"))
+            .collect()
+    }
+
+    /// The inclusive code range matching string range `[lo, hi]`, or `None`
+    /// when no dictionary value falls inside it. Codes are assigned in
+    /// sorted order, so the matching codes are always contiguous.
+    pub fn code_range(&self, lo: &str, hi: &str) -> Option<(u32, u32)> {
+        let start = self.values.partition_point(|v| v.as_ref() < lo);
+        let end = self.values.partition_point(|v| v.as_ref() <= hi);
+        (start < end).then(|| (start as u32, end as u32 - 1))
+    }
+
+    /// The value behind a code.
+    #[inline]
+    pub fn value(&self, code: u32) -> &Arc<str> {
+        &self.values[code as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_sorted_dense_and_invertible() {
+        let d = SortedDict::build(["EUROPE", "AMERICA", "ASIA", "AMERICA"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code_of("AMERICA"), Some(0));
+        assert_eq!(d.code_of("ASIA"), Some(1));
+        assert_eq!(d.code_of("EUROPE"), Some(2));
+        assert_eq!(d.code_of("AFRICA"), None);
+        assert_eq!(d.value(1).as_ref(), "ASIA");
+    }
+
+    #[test]
+    fn ranges_compile_to_contiguous_code_ranges() {
+        let d = SortedDict::build(["MFGR#2221", "MFGR#2223", "MFGR#2225", "MFGR#2228"]);
+        // Inclusive bounds, non-member endpoints.
+        assert_eq!(d.code_range("MFGR#2221", "MFGR#2228"), Some((0, 3)));
+        assert_eq!(d.code_range("MFGR#2222", "MFGR#2227"), Some((1, 2)));
+        assert_eq!(d.code_range("MFGR#2223", "MFGR#2223"), Some((1, 1)));
+        // Empty intersections.
+        assert_eq!(d.code_range("MFGR#2226", "MFGR#2227"), None);
+        assert_eq!(d.code_range("A", "B"), None);
+        assert_eq!(
+            d.code_range("Z", "A"),
+            None,
+            "inverted range matches nothing"
+        );
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let vals = ["b", "a", "c", "a", "b"];
+        let d = SortedDict::build(vals);
+        let codes = d.encode(vals);
+        assert_eq!(codes, vec![1, 0, 2, 0, 1]);
+        for (v, c) in vals.iter().zip(&codes) {
+            assert_eq!(d.value(*c).as_ref(), *v);
+        }
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = SortedDict::build([]);
+        assert!(d.is_empty());
+        assert_eq!(d.code_of("x"), None);
+        assert_eq!(d.code_range("a", "z"), None);
+    }
+}

@@ -2,6 +2,10 @@
 
 /// Which of Clydesdale's techniques are enabled. Defaults to all on (the
 /// system as shipped); the Figure 9 ablation turns them off one at a time.
+/// The `morsel`/`dict_predicates`/`simd_compaction`/`prefetch`/
+/// `zone_fullcover` flags ablate the probe-kernel optimization stack
+/// individually (DESIGN.md §10); results are identical with any of them
+/// off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Features {
     /// Columnar scans: read only the query's columns from CIF. Off = read
@@ -26,6 +30,28 @@ pub struct Features {
     /// cannot satisfy the query's predicates are skipped without decoding.
     /// Results are identical either way.
     pub zone_skipping: bool,
+    /// Morsel-driven intra-task parallelism: a map task's threads pull
+    /// block-sized morsels from a shared work queue instead of claiming
+    /// whole splits, so short splits no longer leave threads idle. Off =
+    /// one split part per thread (the pre-morsel scheduler).
+    pub morsel: bool,
+    /// Dictionary-encoded predicate compilation: string predicates on
+    /// dimension columns are compiled to `u32` code compares against a
+    /// sorted per-column dictionary during the hash-table build (equality
+    /// via code lookup, ranges via code ranges). Off = plain string
+    /// compares per dimension row.
+    pub dict_predicates: bool,
+    /// Branch-free (SIMD-friendly) selection-vector compaction in the
+    /// vectorized kernel. Off = the branchy compaction loop.
+    pub simd_compaction: bool,
+    /// Software prefetching of direct-index probe slots, batched
+    /// index-then-prefetch-then-probe. Off = demand loads only.
+    pub prefetch: bool,
+    /// Block-level zone-map evaluation inside the kernel: a block whose
+    /// min/max fully covers a fact predicate skips per-row evaluation for
+    /// it; a disjoint block is dropped whole. Off = per-row predicates
+    /// always run.
+    pub zone_fullcover: bool,
 }
 
 impl Default for Features {
@@ -37,6 +63,11 @@ impl Default for Features {
             jvm_reuse: true,
             vectorized: true,
             zone_skipping: true,
+            morsel: true,
+            dict_predicates: true,
+            simd_compaction: true,
+            prefetch: true,
+            zone_fullcover: true,
         }
     }
 }
@@ -82,23 +113,68 @@ impl Features {
         }
     }
 
+    pub fn without_morsel() -> Features {
+        Features {
+            morsel: false,
+            ..Features::default()
+        }
+    }
+
+    pub fn without_dict_predicates() -> Features {
+        Features {
+            dict_predicates: false,
+            ..Features::default()
+        }
+    }
+
+    pub fn without_simd_compaction() -> Features {
+        Features {
+            simd_compaction: false,
+            ..Features::default()
+        }
+    }
+
+    pub fn without_prefetch() -> Features {
+        Features {
+            prefetch: false,
+            ..Features::default()
+        }
+    }
+
+    pub fn without_zone_fullcover() -> Features {
+        Features {
+            zone_fullcover: false,
+            ..Features::default()
+        }
+    }
+
+    /// The single-flag-off ablation points, paired with their labels.
+    pub fn ablations() -> Vec<(&'static str, Features)> {
+        vec![
+            ("no-columnar", Features::without_columnar()),
+            ("no-block-iteration", Features::without_block_iteration()),
+            ("no-multithreading", Features::without_multithreading()),
+            ("no-vectorized", Features::without_vectorized()),
+            ("no-zone-skipping", Features::without_zone_skipping()),
+            ("no-morsel", Features::without_morsel()),
+            ("no-dict-predicates", Features::without_dict_predicates()),
+            ("no-simd-compaction", Features::without_simd_compaction()),
+            ("no-prefetch", Features::without_prefetch()),
+            ("no-zone-fullcover", Features::without_zone_fullcover()),
+        ]
+    }
+
     /// Human-readable label used by the ablation harness.
     pub fn label(&self) -> &'static str {
-        match (
-            self.columnar,
-            self.block_iteration,
-            self.multithreading,
-            self.vectorized,
-            self.zone_skipping,
-        ) {
-            (true, true, true, true, true) => "all-on",
-            (false, true, true, true, true) => "no-columnar",
-            (true, false, true, true, true) => "no-block-iteration",
-            (true, true, false, true, true) => "no-multithreading",
-            (true, true, true, false, true) => "no-vectorized",
-            (true, true, true, true, false) => "no-zone-skipping",
-            _ => "custom",
+        if *self == Features::default() {
+            return "all-on";
         }
+        for (name, f) in Features::ablations() {
+            if *self == f {
+                return name;
+            }
+        }
+        "custom"
     }
 }
 
@@ -111,6 +187,8 @@ mod tests {
         let f = Features::default();
         assert!(f.columnar && f.block_iteration && f.multithreading && f.jvm_reuse);
         assert!(f.vectorized && f.zone_skipping);
+        assert!(f.morsel && f.dict_predicates && f.simd_compaction);
+        assert!(f.prefetch && f.zone_fullcover);
         assert_eq!(f.label(), "all-on");
     }
 
@@ -129,5 +207,26 @@ mod tests {
             Features::without_zone_skipping().label(),
             "no-zone-skipping"
         );
+        assert!(!Features::without_morsel().morsel);
+        assert_eq!(Features::without_morsel().label(), "no-morsel");
+        assert!(!Features::without_dict_predicates().dict_predicates);
+        assert!(!Features::without_simd_compaction().simd_compaction);
+        assert!(!Features::without_prefetch().prefetch);
+        assert!(!Features::without_zone_fullcover().zone_fullcover);
+        assert_eq!(Features::without_prefetch().label(), "no-prefetch");
+    }
+
+    #[test]
+    fn every_ablation_turns_off_exactly_its_flag_and_labels_round_trip() {
+        for (name, f) in Features::ablations() {
+            assert_eq!(f.label(), name);
+            assert_ne!(f, Features::default(), "{name} must differ from default");
+        }
+        let custom = Features {
+            columnar: false,
+            vectorized: false,
+            ..Features::default()
+        };
+        assert_eq!(custom.label(), "custom");
     }
 }

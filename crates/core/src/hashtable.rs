@@ -14,8 +14,9 @@
 //! per task at emit time. [`DimHashTable::get`] still returns the aux row
 //! directly for the scalar paths.
 
+use clyde_columnar::SortedDict;
 use clyde_common::{ClydeError, FxHashMap, Result, Row};
-use clyde_ssb::queries::DimJoin;
+use clyde_ssb::queries::{CodePred, DimJoin};
 use clyde_ssb::schema;
 
 /// Direct-index probe tables are built when the key range spans at most
@@ -27,14 +28,21 @@ const DIRECT_MAX_SLOTS: i64 = 1 << 22;
 
 /// Maximum slots-per-entry ratio for the direct-index table. Requiring
 /// density keeps the array's footprint proportional to the dimension's
-/// cardinality (so it scales like the hash map it shadows); sparse key
-/// encodings — e.g. yyyymmdd date keys, where a 7-year span occupies
-/// ~2.5k of ~69k slots — stay on the hash map.
+/// cardinality (so it scales like the hash map it shadows) once the range
+/// outgrows [`DIRECT_SMALL_RANGE`].
 const DIRECT_MAX_SLOTS_PER_ENTRY: usize = 4;
+
+/// Key ranges at most this wide always get a direct-index table, however
+/// sparse (≤ 512 KiB of `u32` — cheaper than the hash map it replaces
+/// would ever be to probe). This is what puts yyyymmdd date keys, whose
+/// 7-year span occupies ~2.5k of ~61k slots and therefore fails the
+/// density rule, on the array path: the date dimension is probed by every
+/// fact row of flights 2-4, so its probe is the kernel's hottest load.
+const DIRECT_SMALL_RANGE: i64 = 1 << 17;
 
 /// Sentinel in the direct-index table: key present in range but filtered
 /// out or absent.
-const NONE_ID: u32 = u32::MAX;
+pub(crate) const NONE_ID: u32 = u32::MAX;
 
 /// A read-only hash table over one (filtered) dimension.
 #[derive(Debug)]
@@ -49,14 +57,36 @@ pub struct DimHashTable {
     aux_rows: Vec<Row>,
     /// Rows scanned while building (qualifying or not) — the build cost.
     pub rows_scanned: u64,
-    /// Approximate heap footprint, for the node memory model.
+    /// Approximate heap footprint, for the node memory model — the part
+    /// that grows with dimension cardinality (map entries, aux rows, and
+    /// direct-array slots up to [`DIRECT_MAX_SLOTS_PER_ENTRY`] per entry).
     pub mem_bytes: u64,
+    /// Range-bounded footprint that does NOT grow with cardinality: the
+    /// slack of a small-range direct array beyond the density cap (e.g.
+    /// the yyyymmdd date array, whose ~61k slots are fixed by the 7-year
+    /// calendar at every scale factor). The cost extrapolator scales
+    /// `mem_bytes` with dimension cardinality but carries this through
+    /// unscaled.
+    pub mem_fixed_bytes: u64,
 }
 
 impl DimHashTable {
     /// Build from dimension rows per the join description. `buildHashTables`
-    /// in the paper's Figure 4 pseudocode.
+    /// in the paper's Figure 4 pseudocode. Evaluates the predicate with
+    /// plain string compares; see [`DimHashTable::build_with`] for the
+    /// dictionary-predicate path.
     pub fn build(join: &DimJoin, rows: &[Row]) -> Result<DimHashTable> {
+        DimHashTable::build_with(join, rows, false)
+    }
+
+    /// Build with an explicit predicate-evaluation strategy. With
+    /// `dict_predicates` on and a predicate that compares strings, each
+    /// referenced string column is dictionary-encoded once (sorted dict +
+    /// one `u32` code per row) and the predicate is compiled to code
+    /// compares ([`CodePred`]): equality = one code lookup, string ranges =
+    /// one code range. The resulting table is identical either way — only
+    /// the build-time compare work changes.
+    pub fn build_with(join: &DimJoin, rows: &[Row], dict_predicates: bool) -> Result<DimHashTable> {
         let dim_schema = schema::schema_of(&join.dimension)
             .ok_or_else(|| ClydeError::Plan(format!("unknown dimension {}", join.dimension)))?;
         let pred = join.predicate.compile(&dim_schema)?;
@@ -67,11 +97,45 @@ impl DimHashTable {
             .map(|a| dim_schema.index_of(a))
             .collect::<Result<_>>()?;
 
+        // Dictionary-predicate compilation (DESIGN.md §10): encode the
+        // predicate's string columns once, then the per-row filter below
+        // runs integer compares only.
+        let mut str_cols = Vec::new();
+        pred.str_cols(&mut str_cols);
+        let dict_path: Option<(CodePred, FxHashMap<usize, Vec<u32>>)> =
+            if dict_predicates && !str_cols.is_empty() {
+                let mut dicts: FxHashMap<usize, SortedDict> = FxHashMap::default();
+                let mut codes: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+                for &c in &str_cols {
+                    let vals: Vec<&str> = rows
+                        .iter()
+                        .map(|r| {
+                            r.at(c).as_str().ok_or_else(|| {
+                                ClydeError::Plan(format!(
+                                    "{} column {c} is not a string but its predicate compares one",
+                                    join.dimension
+                                ))
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                    let d = SortedDict::build(vals.iter().copied());
+                    codes.insert(c, d.encode(vals.iter().copied()));
+                    dicts.insert(c, d);
+                }
+                Some((CodePred::compile(&pred, &dicts), codes))
+            } else {
+                None
+            };
+
         let mut map: FxHashMap<i64, u32> = FxHashMap::default();
         let mut aux_rows: Vec<Row> = Vec::new();
         let mut mem = 0u64;
-        for r in rows {
-            if !pred.eval(r) {
+        for (ri, r) in rows.iter().enumerate() {
+            let qualifies = match &dict_path {
+                Some((cp, codes)) => cp.eval(ri, codes, r),
+                None => pred.eval(r),
+            };
+            if !qualifies {
                 continue;
             }
             let pk = r.at(pk_idx).as_i64().ok_or_else(|| {
@@ -91,21 +155,31 @@ impl DimHashTable {
             }
             aux_rows.push(aux);
         }
-        // Direct-index table over the qualifying-key range, when the range
-        // is both narrow and dense. Built from the finished map, so
-        // duplicate detection above is unaffected.
+        // Direct-index table over the qualifying-key range: always for
+        // small absolute ranges, otherwise when the range is both narrow
+        // and dense. Built from the finished map, so duplicate detection
+        // above is unaffected.
+        let mut mem_fixed = 0u64;
         let direct = match (map.keys().min(), map.keys().max()) {
             (Some(&lo), Some(&hi))
-                if hi - lo < DIRECT_MAX_SLOTS
-                    && (hi - lo + 1) as usize
-                        <= map.len().saturating_mul(DIRECT_MAX_SLOTS_PER_ENTRY) =>
+                if hi - lo < DIRECT_SMALL_RANGE
+                    || (hi - lo < DIRECT_MAX_SLOTS
+                        && (hi - lo + 1) as usize
+                            <= map.len().saturating_mul(DIRECT_MAX_SLOTS_PER_ENTRY)) =>
             {
                 let mut ids = vec![NONE_ID; (hi - lo + 1) as usize];
                 // clyde-lint: allow(unordered, reason=scatter to distinct pk-indexed slots; order cannot matter)
                 for (&pk, &id) in &map {
                     ids[(pk - lo) as usize] = id;
                 }
-                mem += 4 * ids.len() as u64;
+                // Up to the density cap the array scales with entry count;
+                // anything past it is range-bound slack (the sparse
+                // small-range case) and stays constant across scale factors.
+                let array = 4 * ids.len() as u64;
+                let scaling_cap =
+                    4 * (map.len() as u64).saturating_mul(DIRECT_MAX_SLOTS_PER_ENTRY as u64);
+                mem += array.min(scaling_cap);
+                mem_fixed += array.saturating_sub(scaling_cap);
                 Some((lo, ids))
             }
             _ => None,
@@ -116,6 +190,7 @@ impl DimHashTable {
             aux_rows,
             rows_scanned: rows.len() as u64,
             mem_bytes: mem,
+            mem_fixed_bytes: mem_fixed,
         })
     }
 
@@ -151,6 +226,22 @@ impl DimHashTable {
         &self.aux_rows[id as usize]
     }
 
+    /// Raw direct-index parts `(min_key, ids)` for the vectorized kernel's
+    /// inner loops, which index the array directly (ids are [`NONE_ID`] for
+    /// absent keys). `None` when the table is hash-probed.
+    #[inline]
+    pub(crate) fn direct_parts(&self) -> Option<(i64, &[u32])> {
+        self.direct
+            .as_ref()
+            .map(|(min, ids)| (*min, ids.as_slice()))
+    }
+
+    /// The key → dense-id hash map (the fallback probe side).
+    #[inline]
+    pub(crate) fn id_map(&self) -> &FxHashMap<i64, u32> {
+        &self.map
+    }
+
     /// Size of the dense id space (= qualifying entries).
     pub fn num_ids(&self) -> usize {
         self.aux_rows.len()
@@ -159,6 +250,18 @@ impl DimHashTable {
     /// Qualifying entries.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Estimated probe hit rate: the fraction of dimension rows that
+    /// survived the build predicate. SSB foreign keys are uniform over the
+    /// dimension, so this predicts how often a probe finds a match — the
+    /// kernel uses it to pick branchy vs branch-free compaction.
+    pub fn hit_rate(&self) -> f64 {
+        if self.rows_scanned == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.rows_scanned as f64
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -172,8 +275,15 @@ pub struct DimTables {
     pub tables: Vec<DimHashTable>,
     /// Total rows scanned across all builds.
     pub build_rows: u64,
-    /// Total memory charged for the shared copy.
+    /// Total cardinality-scaling memory charged for the shared copy.
     pub mem_bytes: u64,
+    /// Total range-bounded memory (see [`DimHashTable::mem_fixed_bytes`]).
+    pub mem_fixed_bytes: u64,
+    /// Join indices sorted by ascending build-side hit rate: probing the
+    /// most selective dimension first lets early-out kill rows before the
+    /// permissive probes ever run (ties broken by join index, so the order
+    /// is deterministic). Every probe kernel iterates joins in this order.
+    probe_order: Vec<usize>,
 }
 
 impl DimTables {
@@ -188,6 +298,16 @@ impl DimTables {
     /// sequential build.
     pub fn build_all(
         joins: &[DimJoin],
+        fetch: impl FnMut(&str) -> Result<Vec<Row>>,
+    ) -> Result<DimTables> {
+        DimTables::build_all_with(joins, false, fetch)
+    }
+
+    /// [`DimTables::build_all`] with the dictionary-predicate strategy
+    /// selectable (see [`DimHashTable::build_with`]).
+    pub fn build_all_with(
+        joins: &[DimJoin],
+        dict_predicates: bool,
         mut fetch: impl FnMut(&str) -> Result<Vec<Row>>,
     ) -> Result<DimTables> {
         let fetched: Vec<Vec<Row>> = joins
@@ -199,14 +319,16 @@ impl DimTables {
             joins
                 .iter()
                 .zip(&fetched)
-                .map(|(join, rows)| DimHashTable::build(join, rows))
+                .map(|(join, rows)| DimHashTable::build_with(join, rows, dict_predicates))
                 .collect()
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = joins
                     .iter()
                     .zip(&fetched)
-                    .map(|(join, rows)| s.spawn(move || DimHashTable::build(join, rows)))
+                    .map(|(join, rows)| {
+                        s.spawn(move || DimHashTable::build_with(join, rows, dict_predicates))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -218,17 +340,34 @@ impl DimTables {
         let mut tables = Vec::with_capacity(joins.len());
         let mut build_rows = 0;
         let mut mem_bytes = 0;
+        let mut mem_fixed_bytes = 0;
         for t in built {
             let t = t?;
             build_rows += t.rows_scanned;
             mem_bytes += t.mem_bytes;
+            mem_fixed_bytes += t.mem_fixed_bytes;
             tables.push(t);
         }
+        let mut probe_order: Vec<usize> = (0..tables.len()).collect();
+        probe_order.sort_by(|&a, &b| {
+            tables[a]
+                .hit_rate()
+                .total_cmp(&tables[b].hit_rate())
+                .then(a.cmp(&b))
+        });
         Ok(DimTables {
             tables,
             build_rows,
             mem_bytes,
+            mem_fixed_bytes,
+            probe_order,
         })
+    }
+
+    /// The selectivity-ordered join sequence every probe kernel follows
+    /// (see the `probe_order` field).
+    pub fn probe_order(&self) -> &[usize] {
+        &self.probe_order
     }
 }
 
@@ -322,6 +461,92 @@ mod tests {
     }
 
     #[test]
+    fn date_dimension_gets_a_direct_index_table() {
+        // The yyyymmdd key span (~61k slots for 2557 dates) fails the
+        // density rule but sits under DIRECT_SMALL_RANGE, so the hottest
+        // probe in flights 2-4 must be an array load, not a hash probe.
+        let dates = SsbGen::new(0.001, 1).gen_date();
+        let mut join = date_join_year(0);
+        join.predicate = DimPred::True;
+        let t = DimHashTable::build(&join, &dates).unwrap();
+        assert!(
+            t.direct_parts().is_some(),
+            "date keys must use the direct-index path"
+        );
+        let (min, ids) = t.direct_parts().unwrap();
+        assert!(ids.len() as i64 <= super::DIRECT_SMALL_RANGE);
+        for r in &dates {
+            let pk = r.at(0).as_i64().unwrap();
+            assert_ne!(ids[(pk - min) as usize], super::NONE_ID);
+        }
+    }
+
+    #[test]
+    fn sparse_direct_array_slack_is_accounted_as_fixed_memory() {
+        let data = SsbGen::new(0.005, 46).gen_all();
+        // Dates, unfiltered: the full 7-year calendar spans ~61k yyyymmdd
+        // slots for ~2.5k days, so the array is mostly range-bound slack —
+        // which must land in the fixed bucket (the calendar does not grow
+        // with scale factor).
+        let mut date_join = date_join_year(1993);
+        date_join.predicate = DimPred::True;
+        let date = DimHashTable::build(&date_join, &data.date).unwrap();
+        let cap = 4 * date.len() as u64 * super::DIRECT_MAX_SLOTS_PER_ENTRY as u64;
+        let (_, ids) = date.direct_parts().unwrap();
+        assert!(4 * ids.len() as u64 > cap, "calendar array must exceed cap");
+        assert_eq!(date.mem_fixed_bytes, 4 * ids.len() as u64 - cap);
+        // Suppliers, unfiltered: dense 1..N keys, array ∝ cardinality —
+        // nothing fixed.
+        let join = DimJoin {
+            dimension: schema::SUPPLIER.into(),
+            pk: "s_suppkey".into(),
+            fk: "lo_suppkey".into(),
+            predicate: DimPred::True,
+            aux: vec!["s_region".into()],
+        };
+        let supp = DimHashTable::build(&join, &data.supplier).unwrap();
+        assert!(supp.direct_parts().is_some());
+        assert_eq!(supp.mem_fixed_bytes, 0);
+    }
+
+    #[test]
+    fn dict_predicate_build_matches_plain_build_for_every_query() {
+        // The dictionary-predicate path must construct byte-identical
+        // tables: same keys, same dense ids, same aux rows, same memory
+        // accounting.
+        let data = SsbGen::new(0.002, 7).gen_all();
+        for q in clyde_ssb::all_queries() {
+            for join in &q.joins {
+                let rows = data.dimension(&join.dimension).unwrap();
+                let pk_idx = schema::schema_of(&join.dimension)
+                    .unwrap()
+                    .index_of(&join.pk)
+                    .unwrap();
+                let plain = DimHashTable::build_with(join, rows, false).unwrap();
+                let dict = DimHashTable::build_with(join, rows, true).unwrap();
+                assert_eq!(plain.len(), dict.len(), "{} {}", q.id, join.dimension);
+                assert_eq!(plain.num_ids(), dict.num_ids());
+                assert_eq!(plain.mem_bytes, dict.mem_bytes);
+                assert_eq!(plain.mem_fixed_bytes, dict.mem_fixed_bytes);
+                assert_eq!(plain.rows_scanned, dict.rows_scanned);
+                for r in rows {
+                    let pk = r.at(pk_idx).as_i64().unwrap();
+                    assert_eq!(
+                        plain.get_id(pk),
+                        dict.get_id(pk),
+                        "{} {} key {pk}",
+                        q.id,
+                        join.dimension
+                    );
+                    if let Some(id) = plain.get_id(pk) {
+                        assert_eq!(plain.aux(id), dict.aux(id));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn empty_aux_tables_work() {
         // Flight 1 joins carry no auxiliary columns — the probe is a filter.
         let dates = SsbGen::new(0.001, 1).gen_date();
@@ -377,14 +602,17 @@ mod tests {
         // Sequential ground truth.
         let mut build_rows = 0u64;
         let mut mem_bytes = 0u64;
+        let mut mem_fixed_bytes = 0u64;
         for join in &q.joins {
             let rows = data.dimension(&join.dimension).unwrap();
             let t = DimHashTable::build(join, rows).unwrap();
             build_rows += t.rows_scanned;
             mem_bytes += t.mem_bytes;
+            mem_fixed_bytes += t.mem_fixed_bytes;
         }
         assert_eq!(tables.build_rows, build_rows);
         assert_eq!(tables.mem_bytes, mem_bytes);
+        assert_eq!(tables.mem_fixed_bytes, mem_fixed_bytes);
     }
 
     #[test]

@@ -53,3 +53,4 @@ pub mod probe;
 pub use config::Features;
 pub use engine::{Clydesdale, QueryResult};
 pub use hashtable::{DimHashTable, DimTables};
+pub use probe::KernelOpts;

@@ -5,23 +5,36 @@
 //! 1. obtains the dimension hash tables from per-node state, building them
 //!    (single-threaded) only if this is the first task of the query on this
 //!    node — JVM reuse means subsequent tasks find them ready;
-//! 2. unpacks the multi-split and hands each constituent split to one of its
-//!    threads (`getMultipleReaders()`), so record deserialization is never a
-//!    shared bottleneck (Section 5.1);
+//! 2. unpacks the multi-split: with **morsel parallelism** (the default)
+//!    every thread pulls one block at a time from a shared source, so even a
+//!    single constituent split's probe work spreads across all
+//!    `host_threads` workers; with morsels ablated each thread claims whole
+//!    parts, the paper's `getMultipleReaders()` shape (Section 5.1);
 //! 3. each thread probes its blocks against the *shared, read-only* tables,
 //!    aggregating into a thread-local group map;
 //! 4. the merged per-task group map is emitted — one record per group, the
 //!    combiner effect of Figure 4.
+//!
+//! ## Morsel determinism
+//!
+//! Which thread processes which morsel is a race, but the emitted records
+//! are byte-identical across `host_threads` counts (shadow-checked in CI at
+//! 1/2/8): every aggregate is an algebraic `i64` fold (commutative and
+//! associative — sum/min/max/count), so the merged map's contents do not
+//! depend on fold order; emit then sorts the groups. Belt and braces, the
+//! thread-local accumulators are merged in ascending first-morsel-id order,
+//! so even a non-commutative future fold would see a canonical order.
 
 use crate::config::Features;
 use crate::hashtable::DimTables;
 use crate::probe::{
-    probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
+    probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, KernelOpts, ProbePlan,
+    ProbeStats, SelBuf,
 };
 use clyde_common::lockorder::Mutex;
 use clyde_common::obs::{Phase, WallTimer};
-use clyde_common::{rowcodec, ClydeError, Datum, FxHashMap, Result, Row, Schema};
-use clyde_mapred::{MapRunner, MapTaskContext, Reader};
+use clyde_common::{rowcodec, ClydeError, Datum, FxHashMap, Result, Row, RowBlock, Schema};
+use clyde_mapred::{BlockReader, MapRunner, MapTaskContext, Reader};
 use clyde_ssb::loader::SsbLayout;
 use clyde_ssb::queries::StarQuery;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -38,11 +51,70 @@ pub struct MtMapRunner {
     pub features: Features,
 }
 
+/// Shared morsel source: hands out `(morsel_id, block)` pairs across the
+/// runner's threads. Deserializing the next block happens under the lock
+/// (it is cheap — a columnar slice), probing happens outside it, so all
+/// threads share the probe work of even a single constituent split.
+struct MorselSource<'a, 'b> {
+    ctx: &'a MapTaskContext<'b>,
+    parts: usize,
+    state: Mutex<MorselState>,
+}
+
+struct MorselState {
+    next_part: usize,
+    current: Option<Box<dyn BlockReader>>,
+    next_morsel: u64,
+}
+
+impl<'a, 'b> MorselSource<'a, 'b> {
+    fn new(ctx: &'a MapTaskContext<'b>, parts: usize) -> MorselSource<'a, 'b> {
+        MorselSource {
+            ctx,
+            parts,
+            state: Mutex::new(MorselState {
+                next_part: 0,
+                current: None,
+                next_morsel: 0,
+            }),
+        }
+    }
+
+    /// The next morsel, or `None` when every part is drained. Morsel ids
+    /// are assigned in hand-out order: dense, starting at 0.
+    fn next(&self) -> Result<Option<(u64, RowBlock)>> {
+        let mut st = self.state.lock();
+        loop {
+            if st.current.is_none() {
+                if st.next_part >= self.parts {
+                    return Ok(None);
+                }
+                let part = st.next_part;
+                st.next_part += 1;
+                st.current = Some(
+                    self.ctx
+                        .input
+                        .open(self.ctx.split, part, &self.ctx.io)?
+                        .into_blocks()?,
+                );
+            }
+            match st.current.as_mut().expect("opened above").next_block()? {
+                Some(block) => {
+                    let id = st.next_morsel;
+                    st.next_morsel += 1;
+                    return Ok(Some((id, block)));
+                }
+                None => st.current = None,
+            }
+        }
+    }
+}
+
 impl MtMapRunner {
     fn acquire_tables(&self, ctx: &MapTaskContext<'_>) -> Result<Arc<DimTables>> {
         let key = format!("clydesdale.tables.{}", self.query.id);
         let (tables, built) = ctx.node_state.get_or_try_init(&key, || {
-            DimTables::build_all(&self.query.joins, |dim| {
+            DimTables::build_all_with(&self.query.joins, self.features.dict_predicates, |dim| {
                 // Dimensions come from the node-local cache (Figure 2); a
                 // node that lost its copy re-fetches from the DFS.
                 let path = self.layout.dim_bin(dim);
@@ -55,14 +127,187 @@ impl MtMapRunner {
             if self.features.multithreading {
                 // One shared copy per node, alive for the whole job.
                 ctx.charge_memory_shared(tables.mem_bytes)?;
+                ctx.charge_memory_shared_fixed(tables.mem_fixed_bytes)?;
             } else {
                 // Every slot holds its own copy — the configuration the
                 // paper's Section 5.1 calls impractical.
                 ctx.charge_memory_per_slot(tables.mem_bytes)?;
+                ctx.charge_memory_per_slot_fixed(tables.mem_fixed_bytes)?;
             }
         }
         Ok(tables)
     }
+
+    /// Morsel-driven probe: threads pull blocks from the shared source and
+    /// never idle while another part still has blocks. Thread-local results
+    /// land in `done` tagged with the first morsel id each thread handled.
+    #[allow(clippy::too_many_arguments)]
+    fn run_morsels(
+        &self,
+        ctx: &MapTaskContext<'_>,
+        tables: &DimTables,
+        plan: &ProbePlan,
+        layout: &Option<GroupLayout>,
+        kopts: KernelOpts,
+        parts: usize,
+        threads: usize,
+        probe_ns: &AtomicU64,
+    ) -> Result<(Vec<ThreadResult>, ProbeStats)> {
+        let source = MorselSource::new(ctx, parts);
+        let done: Mutex<Vec<ThreadResult>> = Mutex::new(Vec::with_capacity(threads));
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let source = &source;
+                let done = &done;
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let thread_start = WallTimer::start();
+                    let mut res = ThreadResult {
+                        first_morsel: u64::MAX,
+                        acc: FxHashMap::default(),
+                        vacc: layout
+                            .as_ref()
+                            .map(|l| GroupAcc::new(l, &self.query.aggregate)),
+                        stats: ProbeStats::default(),
+                    };
+                    let mut buf = SelBuf::default();
+                    while let Some((id, block)) = source.next()? {
+                        res.first_morsel = res.first_morsel.min(id);
+                        match (&mut res.vacc, layout) {
+                            (Some(va), Some(l)) => probe_block_vec(
+                                &block,
+                                plan,
+                                tables,
+                                l,
+                                va,
+                                &mut buf,
+                                &mut res.stats,
+                                kopts,
+                            )?,
+                            _ => probe_block(&block, plan, tables, &mut res.acc, &mut res.stats)?,
+                        }
+                    }
+                    done.lock().push(res);
+                    probe_ns.fetch_add(thread_start.elapsed_ns(), Ordering::Relaxed);
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join()
+                    .map_err(|_| ClydeError::MapReduce("probe thread panicked".into()))??;
+            }
+            Ok(())
+        })?;
+        let mut results = done.into_inner();
+        // Canonical merge order: ascending first morsel id (idle threads,
+        // tagged u64::MAX, sort last and contribute nothing).
+        results.sort_by_key(|r| r.first_morsel);
+        let mut stats = ProbeStats::default();
+        for r in &results {
+            stats.add(&r.stats);
+        }
+        Ok((results, stats))
+    }
+
+    /// Whole-part probe (morsels ablated, or a row-shaped input): threads
+    /// claim constituent splits and keep every block of a part to
+    /// themselves — the paper's original Figure 5 shape.
+    #[allow(clippy::too_many_arguments)]
+    fn run_parts(
+        &self,
+        ctx: &MapTaskContext<'_>,
+        tables: &DimTables,
+        plan: &ProbePlan,
+        layout: &Option<GroupLayout>,
+        kopts: KernelOpts,
+        parts: usize,
+        threads: usize,
+        probe_ns: &AtomicU64,
+    ) -> Result<(Vec<ThreadResult>, ProbeStats)> {
+        let next_part = AtomicUsize::new(0);
+        let done: Mutex<Vec<ThreadResult>> = Mutex::new(Vec::with_capacity(threads));
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let next_part = &next_part;
+                let done = &done;
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let thread_start = WallTimer::start();
+                    let mut res = ThreadResult {
+                        first_morsel: u64::MAX,
+                        acc: FxHashMap::default(),
+                        vacc: layout
+                            .as_ref()
+                            .map(|l| GroupAcc::new(l, &self.query.aggregate)),
+                        stats: ProbeStats::default(),
+                    };
+                    let mut buf = SelBuf::default();
+                    loop {
+                        let part = next_part.fetch_add(1, Ordering::Relaxed);
+                        if part >= parts {
+                            break;
+                        }
+                        res.first_morsel = res.first_morsel.min(part as u64);
+                        match ctx.input.open(ctx.split, part, &ctx.io)? {
+                            Reader::Blocks(mut r) => {
+                                while let Some(block) = r.next_block()? {
+                                    match (&mut res.vacc, layout) {
+                                        (Some(va), Some(l)) => probe_block_vec(
+                                            &block,
+                                            plan,
+                                            tables,
+                                            l,
+                                            va,
+                                            &mut buf,
+                                            &mut res.stats,
+                                            kopts,
+                                        )?,
+                                        _ => probe_block(
+                                            &block,
+                                            plan,
+                                            tables,
+                                            &mut res.acc,
+                                            &mut res.stats,
+                                        )?,
+                                    }
+                                }
+                            }
+                            Reader::Rows(mut r) => {
+                                while let Some((_, row)) = r.next()? {
+                                    probe_row(&row, plan, tables, &mut res.acc, &mut res.stats)?;
+                                }
+                            }
+                        }
+                    }
+                    done.lock().push(res);
+                    probe_ns.fetch_add(thread_start.elapsed_ns(), Ordering::Relaxed);
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join()
+                    .map_err(|_| ClydeError::MapReduce("probe thread panicked".into()))??;
+            }
+            Ok(())
+        })?;
+        let mut results = done.into_inner();
+        results.sort_by_key(|r| r.first_morsel);
+        let mut stats = ProbeStats::default();
+        for r in &results {
+            stats.add(&r.stats);
+        }
+        Ok((results, stats))
+    }
+}
+
+/// What one probe thread produced, tagged for canonical merge ordering.
+struct ThreadResult {
+    /// Lowest morsel id (or part index) this thread processed; `u64::MAX`
+    /// when it got none.
+    first_morsel: u64,
+    acc: FxHashMap<Row, i64>,
+    vacc: Option<GroupAcc>,
+    stats: ProbeStats,
 }
 
 impl MapRunner for MtMapRunner {
@@ -78,93 +323,35 @@ impl MapRunner for MtMapRunner {
         } else {
             None
         };
+        let kopts = KernelOpts::from_features(&self.features);
 
         let parts = ctx.split.spec.num_parts();
+        // Block iteration is what makes morsels: a block is a morsel. The
+        // row-reader ablation keeps the whole-part path.
+        let morsels = self.features.morsel && self.features.block_iteration;
         // Spawn count is a host-execution knob; pricing uses `ctx.threads`.
-        let threads = (ctx.host_threads as usize).min(parts).max(1);
-        let next_part = AtomicUsize::new(0);
-        let global_acc: Mutex<FxHashMap<Row, i64>> = Mutex::new(FxHashMap::default());
-        let global_vacc: Option<Mutex<GroupAcc>> = layout
-            .as_ref()
-            .map(|l| Mutex::new(GroupAcc::new(l, &self.query.aggregate)));
-        let global_stats: Mutex<ProbeStats> = Mutex::new(ProbeStats::default());
+        // Morsel sharing is finer than parts, so it is not capped by them.
+        let threads = if morsels {
+            (ctx.host_threads as usize).max(1)
+        } else {
+            (ctx.host_threads as usize).min(parts).max(1)
+        };
         // Wall-clock spent probing, summed across the runner's threads
         // (observability only — simulated time comes from the cost model).
         let probe_ns = AtomicU64::new(0);
 
-        std::thread::scope(|scope| -> Result<()> {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let tables = &tables;
-                let plan = &plan;
-                let layout = &layout;
-                let next_part = &next_part;
-                let global_acc = &global_acc;
-                let global_vacc = &global_vacc;
-                let global_stats = &global_stats;
-                let probe_ns = &probe_ns;
-                handles.push(scope.spawn(move || -> Result<()> {
-                    let thread_start = WallTimer::start();
-                    let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
-                    let mut vacc = layout
-                        .as_ref()
-                        .map(|l| GroupAcc::new(l, &self.query.aggregate));
-                    let mut buf = SelBuf::default();
-                    let mut stats = ProbeStats::default();
-                    loop {
-                        let part = next_part.fetch_add(1, Ordering::Relaxed);
-                        if part >= parts {
-                            break;
-                        }
-                        match ctx.input.open(ctx.split, part, &ctx.io)? {
-                            Reader::Blocks(mut r) => {
-                                while let Some(block) = r.next_block()? {
-                                    match (&mut vacc, layout) {
-                                        (Some(va), Some(l)) => probe_block_vec(
-                                            &block, plan, tables, l, va, &mut buf, &mut stats,
-                                        )?,
-                                        _ => {
-                                            probe_block(&block, plan, tables, &mut acc, &mut stats)?
-                                        }
-                                    }
-                                }
-                            }
-                            Reader::Rows(mut r) => {
-                                while let Some((_, row)) = r.next()? {
-                                    probe_row(&row, plan, tables, &mut acc, &mut stats)?;
-                                }
-                            }
-                        }
-                    }
-                    // Merge the thread-local aggregates with the query's
-                    // fold (sum/min/max/count are all algebraic).
-                    let agg = &self.query.aggregate;
-                    if !acc.is_empty() {
-                        let mut g = global_acc.lock();
-                        // clyde-lint: allow(unordered, reason=algebraic fold into a map is commutative; emit sorts)
-                        for (k, v) in acc {
-                            let slot = g.entry(k).or_insert_with(|| agg.identity());
-                            *slot = agg.fold(*slot, v);
-                        }
-                    }
-                    if let (Some(va), Some(gv)) = (vacc, global_vacc) {
-                        gv.lock().merge(va, agg);
-                    }
-                    global_stats.lock().add(&stats);
-                    probe_ns.fetch_add(thread_start.elapsed_ns(), Ordering::Relaxed);
-                    Ok(())
-                }));
-            }
-            for h in handles {
-                h.join()
-                    .map_err(|_| ClydeError::MapReduce("probe thread panicked".into()))??;
-            }
-            Ok(())
-        })?;
+        let (results, stats) = if morsels {
+            self.run_morsels(
+                ctx, &tables, &plan, &layout, kopts, parts, threads, &probe_ns,
+            )?
+        } else {
+            self.run_parts(
+                ctx, &tables, &plan, &layout, kopts, parts, threads, &probe_ns,
+            )?
+        };
 
         ctx.note_wall_phase(Phase::Probe, probe_ns.into_inner());
         let emit_start = WallTimer::start();
-        let stats = global_stats.into_inner();
         ctx.add_cost(|c| {
             if self.features.block_iteration {
                 c.block_rows += stats.rows;
@@ -174,13 +361,25 @@ impl MapRunner for MtMapRunner {
             c.probe_rows += stats.probes;
         });
 
-        // Rematerialize the packed-key groups once per task: distinct
+        // Merge thread results in first-morsel order (already sorted), then
+        // rematerialize the packed-key groups once per task: distinct
         // dimension rows can share aux values, so fold (don't overwrite)
         // into the row-keyed map.
-        let mut acc = global_acc.into_inner();
-        if let (Some(vacc), Some(l)) = (global_vacc, &layout) {
-            let agg = &self.query.aggregate;
-            for (key, v) in vacc.into_inner().entries() {
+        let agg = &self.query.aggregate;
+        let mut acc: FxHashMap<Row, i64> = FxHashMap::default();
+        let mut vacc = layout.as_ref().map(|l| GroupAcc::new(l, agg));
+        for r in results {
+            // clyde-lint: allow(unordered, reason=algebraic fold into a map is commutative; emit sorts)
+            for (k, v) in r.acc {
+                let slot = acc.entry(k).or_insert_with(|| agg.identity());
+                *slot = agg.fold(*slot, v);
+            }
+            if let (Some(va), Some(global)) = (r.vacc, vacc.as_mut()) {
+                global.merge(va, agg);
+            }
+        }
+        if let (Some(vacc), Some(l)) = (vacc, &layout) {
+            for (key, v) in vacc.entries() {
                 let row = l.rematerialize(key, &tables);
                 let slot = acc.entry(row).or_insert_with(|| agg.identity());
                 *slot = agg.fold(*slot, v);

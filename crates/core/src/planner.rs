@@ -15,6 +15,13 @@ use clyde_ssb::queries::{DimPred, FactPred, StarQuery};
 use clyde_ssb::schema;
 use std::sync::Arc;
 
+/// Rows per scanned block — and therefore per *morsel*, the unit of work
+/// the multi-threaded runner's threads steal from each other. Small enough
+/// that a morsel's columns sit in L2 while it is probed, big enough to
+/// amortize per-block dispatch. Benchmarks (`bench_probe`) use the same
+/// granularity so measured kernels match production blocks.
+pub const ROWS_PER_BLOCK: usize = 4096;
+
 /// The scan schema for a query under the given features: the projected
 /// fact columns when columnar scanning is on, all 17 columns otherwise.
 pub fn scan_schema(query: &StarQuery, features: &Features) -> Result<(Vec<String>, Schema)> {
@@ -117,7 +124,7 @@ pub fn plan_query(
 
     let mode = if features.block_iteration {
         ScanMode::Blocks {
-            rows_per_block: 4096,
+            rows_per_block: ROWS_PER_BLOCK,
         }
     } else {
         ScanMode::Rows

@@ -119,7 +119,11 @@ pub const D004_AUDITED: &[&str] = &[
     "crates/common/src/obs/mod.rs",
     "crates/common/src/obs/span.rs",
     "crates/common/src/obs/metrics.rs",
-    // The multi-threaded map runner (paper Figure 5) and parallel builds.
+    // The multi-threaded map runner (paper Figure 5): the shared morsel
+    // source (one mutex around reader state, held only to slice the next
+    // block) and the thread-result sink; plus parallel dimension builds.
+    // Audited 2026-08: no nested lock acquisition — `MorselSource::next`
+    // and the `done` sink take one lock each and never both.
     "crates/core/src/mtrunner.rs",
     "crates/core/src/hashtable.rs",
     // The MapReduce engine, task context, and distributed cache.

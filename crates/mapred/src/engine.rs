@@ -739,6 +739,8 @@ impl Engine {
             client_publish_bytes: client.cache.disseminated_bytes(),
             memory_per_slot: ledger.per_slot(),
             memory_shared: ledger.shared(),
+            memory_per_slot_fixed: ledger.per_slot_fixed(),
+            memory_shared_fixed: ledger.shared_fixed(),
             failed_attempts,
             split_locality: scheduler::locality_fraction(&splits, &assignment),
             wall_phases,

@@ -131,6 +131,12 @@ pub struct JobProfile {
     pub memory_per_slot: u64,
     /// Peak node-shared memory any task charged (bytes).
     pub memory_shared: u64,
+    /// Scale-invariant portion of per-slot memory: range-bounded structures
+    /// (small-range direct-index arrays) that do not grow with dimension
+    /// cardinality, so extrapolation carries them through unscaled.
+    pub memory_per_slot_fixed: u64,
+    /// Scale-invariant portion of node-shared memory.
+    pub memory_shared_fixed: u64,
     /// Map-task attempts that failed and were retried (fault tolerance).
     pub failed_attempts: u32,
     /// Fraction of splits the scheduler placed on a preferred host.
@@ -175,7 +181,10 @@ impl JobProfile {
     /// mapjoin failure mode (Section 6.4).
     pub fn price(&self, params: &CostParams, cluster: &ClusterSpec) -> Result<JobCost> {
         let concurrency = self.map_concurrency.max(1);
-        let raw = self.memory_per_slot.saturating_mul(u64::from(concurrency)) + self.memory_shared;
+        let raw = (self.memory_per_slot + self.memory_per_slot_fixed)
+            .saturating_mul(u64::from(concurrency))
+            + self.memory_shared
+            + self.memory_shared_fixed;
         // Java-era in-memory expansion (see CostParams::memory_expansion).
         let required = (raw as f64 * params.memory_expansion) as u64;
         if required > cluster.node.memory_bytes {
@@ -295,6 +304,10 @@ impl JobProfile {
             client_publish_bytes: sf(self.client_publish_bytes, opts.dim_factor),
             memory_per_slot: sf(self.memory_per_slot, opts.dim_factor),
             memory_shared: sf(self.memory_shared, opts.dim_factor),
+            // Range-bounded memory is the same number of bytes at every
+            // scale factor — that is the point of tracking it separately.
+            memory_per_slot_fixed: self.memory_per_slot_fixed,
+            memory_shared_fixed: self.memory_shared_fixed,
             failed_attempts: 0,
             split_locality: self.split_locality,
             // Wall-clock is a property of the measured run, not the

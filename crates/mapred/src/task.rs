@@ -155,6 +155,8 @@ impl MemoryTracker {
 pub struct MemoryLedger {
     per_slot: Mutex<u64>,
     shared: Mutex<u64>,
+    per_slot_fixed: Mutex<u64>,
+    shared_fixed: Mutex<u64>,
 }
 
 impl MemoryLedger {
@@ -170,6 +172,24 @@ impl MemoryLedger {
     pub fn note_shared(&self, bytes: u64) {
         let mut v = self.shared.lock();
         *v = (*v).max(bytes);
+    }
+
+    pub fn note_per_slot_fixed(&self, bytes: u64) {
+        let mut v = self.per_slot_fixed.lock();
+        *v = (*v).max(bytes);
+    }
+
+    pub fn note_shared_fixed(&self, bytes: u64) {
+        let mut v = self.shared_fixed.lock();
+        *v = (*v).max(bytes);
+    }
+
+    pub fn per_slot_fixed(&self) -> u64 {
+        *self.per_slot_fixed.lock()
+    }
+
+    pub fn shared_fixed(&self) -> u64 {
+        *self.shared_fixed.lock()
     }
 
     pub fn per_slot(&self) -> u64 {
@@ -287,6 +307,27 @@ impl MapTaskContext<'_> {
     /// releases these charges when the task finishes.
     pub fn charge_memory_per_slot(&self, bytes: u64) -> Result<()> {
         self.ledger.note_per_slot(bytes);
+        let effective = bytes.saturating_mul(u64::from(self.slot_concurrency));
+        self.memory.charge(effective)?;
+        *self.task_charges.lock() += effective;
+        Ok(())
+    }
+
+    /// [`TaskContext::charge_memory_shared`] for **scale-invariant** bytes:
+    /// structures whose size is bounded by a key range rather than by data
+    /// cardinality (e.g. a sparse small-range direct-index array). Charged
+    /// against the node budget like any other bytes, but recorded
+    /// separately so the cost extrapolator does not scale them with
+    /// dimension cardinality.
+    pub fn charge_memory_shared_fixed(&self, bytes: u64) -> Result<()> {
+        self.ledger.note_shared_fixed(bytes);
+        self.memory.charge(bytes)
+    }
+
+    /// [`TaskContext::charge_memory_per_slot`] for scale-invariant bytes
+    /// (see [`TaskContext::charge_memory_shared_fixed`]).
+    pub fn charge_memory_per_slot_fixed(&self, bytes: u64) -> Result<()> {
+        self.ledger.note_per_slot_fixed(bytes);
         let effective = bytes.saturating_mul(u64::from(self.slot_concurrency));
         self.memory.charge(effective)?;
         *self.task_charges.lock() += effective;

@@ -1,0 +1,89 @@
+//! Property test: dictionary-compiled string predicates are exactly the
+//! plain string predicates.
+//!
+//! For a random dictionary (random column contents, duplicates and all)
+//! and a random equality / IN / range / conjunction predicate — whose
+//! constants may or may not occur in the column — [`CodePred`] compiled
+//! against the column's [`SortedDict`] must accept exactly the rows the
+//! scalar string-comparison path ([`CompiledDimPred::eval`]) accepts.
+
+use clyde_columnar::SortedDict;
+use clyde_common::{row, Field, FxHashMap, Row, Schema};
+use clyde_ssb::queries::{CodePred, DimPred};
+use proptest::prelude::*;
+
+/// Strings drawn from a tiny alphabet so equalities, range endpoints and
+/// duplicates actually collide with the column contents.
+fn arb_s() -> impl Strategy<Value = String> {
+    "[ab]{0,3}"
+}
+
+fn arb_pred() -> impl Strategy<Value = DimPred> {
+    let eq = arb_s().prop_map(|value| DimPred::StrEq {
+        column: "s".into(),
+        value,
+    });
+    let in_ = proptest::collection::vec(arb_s(), 0..4).prop_map(|values| DimPred::StrIn {
+        column: "s".into(),
+        values,
+    });
+    let between = (arb_s(), arb_s()).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        DimPred::StrBetween {
+            column: "s".into(),
+            lo,
+            hi,
+        }
+    });
+    // Inverted (empty) ranges must also agree — both sides reject all.
+    let empty_between = (arb_s(), arb_s()).prop_map(|(a, b)| {
+        let (lo, hi) = match a.cmp(&b) {
+            std::cmp::Ordering::Greater => (a, b),
+            std::cmp::Ordering::Equal => (format!("{a}z"), b),
+            std::cmp::Ordering::Less => (b, a),
+        };
+        DimPred::StrBetween {
+            column: "s".into(),
+            lo,
+            hi,
+        }
+    });
+    prop_oneof![eq, in_, between, empty_between]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn code_pred_matches_string_pred(
+        values in proptest::collection::vec(arb_s(), 1..50),
+        p1 in arb_pred(),
+        p2 in arb_pred(),
+        conj in any::<bool>(),
+    ) {
+        let schema = Schema::new(vec![Field::str("s")]);
+        let pred = if conj {
+            DimPred::And(vec![p1, p2])
+        } else {
+            p1
+        };
+        let compiled = pred.compile(&schema).unwrap();
+
+        let rows: Vec<Row> = values.iter().map(|v| row![v.as_str()]).collect();
+        let dict = SortedDict::build(values.iter().map(|v| v.as_str()));
+        let codes: FxHashMap<usize, Vec<u32>> =
+            [(0usize, dict.encode(values.iter().map(|v| v.as_str())))]
+                .into_iter()
+                .collect();
+        let code_pred = CodePred::compile(&compiled, &[(0usize, dict)].into_iter().collect());
+
+        for (ri, row) in rows.iter().enumerate() {
+            prop_assert_eq!(
+                code_pred.eval(ri, &codes, row),
+                compiled.eval(row),
+                "row {} ({:?}) diverges under {:?} -> {:?}",
+                ri, values[ri], compiled, code_pred
+            );
+        }
+    }
+}

@@ -1,19 +1,23 @@
 //! Property test: the three probe kernels are interchangeable.
 //!
 //! For any SSB query, any generator seed, and any block-size partitioning
-//! of the fact table, the vectorized kernel ([`probe_block_vec`]), the
-//! scalar block kernel ([`probe_block`]) and the row-at-a-time fallback
-//! ([`probe_row`]) must produce identical group aggregates, identical
-//! [`ProbeStats`] (rows, probes **and survivors** — early-out must shrink
-//! the selection vector exactly as the scalar loop skips), and all must
-//! agree with the trusted single-process reference executor.
+//! of the fact table, the vectorized kernel ([`probe_block_vec`]) — under
+//! **every [`KernelOpts`] ablation combination** — the scalar block kernel
+//! ([`probe_block`]) and the row-at-a-time fallback ([`probe_row`]) must
+//! produce identical group aggregates, identical [`ProbeStats`] (rows,
+//! probes **and survivors** — early-out must shrink the selection vector
+//! exactly as the scalar loop skips), and all must agree with the trusted
+//! single-process reference executor. Dimension tables built with
+//! dictionary-compiled predicates must behave identically to plain
+//! string-comparison builds.
 
 use clyde_common::{FxHashMap, Row, RowBlock, RowBlockBuilder, Schema};
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::{all_queries, reference_answer, schema};
 use clydesdale::hashtable::DimTables;
 use clydesdale::probe::{
-    probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, ProbePlan, ProbeStats, SelBuf,
+    probe_block, probe_block_vec, probe_row, GroupAcc, GroupLayout, KernelOpts, ProbePlan,
+    ProbeStats, SelBuf,
 };
 use proptest::prelude::*;
 
@@ -36,11 +40,40 @@ fn blocks_of(
         .collect()
 }
 
+/// Run the vectorized kernel over `blocks` and rematerialize its packed
+/// groups into plain rows (folding — distinct dimension rows can share aux
+/// values).
+fn run_vec(
+    blocks: &[RowBlock],
+    plan: &ProbePlan,
+    tables: &DimTables,
+    layout: &GroupLayout,
+    opts: KernelOpts,
+) -> (FxHashMap<Row, i64>, ProbeStats) {
+    let mut acc = GroupAcc::new(layout, &plan.aggregate);
+    let mut buf = SelBuf::default();
+    let mut st = ProbeStats::default();
+    for b in blocks {
+        probe_block_vec(b, plan, tables, layout, &mut acc, &mut buf, &mut st, opts).unwrap();
+    }
+    let mut folded: FxHashMap<Row, i64> = FxHashMap::default();
+    for (k, v) in acc.entries() {
+        let key = layout.rematerialize(k, tables);
+        let slot = folded
+            .entry(key)
+            .or_insert_with(|| plan.aggregate.identity());
+        *slot = plan.aggregate.fold(*slot, v);
+    }
+    (folded, st)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Vectorized == scalar block == row-at-a-time == reference, for every
-    /// query shape, over arbitrary seeds and block boundaries.
+    /// Vectorized (all ablation combinations) == scalar block ==
+    /// row-at-a-time == reference, for every query shape, over arbitrary
+    /// seeds and block boundaries, with and without dictionary-compiled
+    /// dimension predicates.
     #[test]
     fn kernels_agree_with_each_other_and_the_reference(
         qi in 0usize..13,
@@ -76,31 +109,34 @@ proptest! {
         for lo in &data.lineorder {
             probe_row(&lo.project(&cols), &plan, &tables, &mut acc_row, &mut st_row).unwrap();
         }
-
-        // Vectorized kernel: packed keys, rematerialized (and folded —
-        // distinct dimension rows can share aux values) at emit time.
-        let layout = GroupLayout::new(&plan, &tables).expect("packed key fits for SSB");
-        let mut acc = GroupAcc::new(&layout, &plan.aggregate);
-        let mut buf = SelBuf::default();
-        let mut st_vec = ProbeStats::default();
-        for b in &blocks {
-            probe_block_vec(b, &plan, &tables, &layout, &mut acc, &mut buf, &mut st_vec).unwrap();
-        }
-        let mut acc_vec: FxHashMap<Row, i64> = FxHashMap::default();
-        for (k, v) in acc.entries() {
-            let key = layout.rematerialize(k, &tables);
-            let slot = acc_vec.entry(key).or_insert_with(|| plan.aggregate.identity());
-            *slot = plan.aggregate.fold(*slot, v);
-        }
-
-        // All three kernels: same aggregates, same counters.
-        prop_assert_eq!(&acc_vec, &acc_scalar, "{}: vectorized != scalar", q.id);
         prop_assert_eq!(&acc_row, &acc_scalar, "{}: row != scalar", q.id);
-        prop_assert_eq!(st_vec.survivors, st_scalar.survivors,
-            "{}: survivor counts diverge", q.id);
-        prop_assert_eq!(st_vec, st_scalar, "{}: vectorized stats != scalar", q.id);
         prop_assert_eq!(st_row, st_scalar, "{}: row stats != scalar", q.id);
         prop_assert_eq!(st_scalar.rows, data.lineorder.len() as u64);
+
+        // Vectorized kernel: every ablation-flag combination must match
+        // the scalar kernel bit for bit, counters included.
+        let layout = GroupLayout::new(&plan, &tables).expect("packed key fits for SSB");
+        for opts in KernelOpts::all_combinations() {
+            let (acc_vec, st_vec) = run_vec(&blocks, &plan, &tables, &layout, opts);
+            prop_assert_eq!(&acc_vec, &acc_scalar,
+                "{}: vectorized({:?}) != scalar", q.id, opts);
+            prop_assert_eq!(st_vec, st_scalar,
+                "{}: vectorized({:?}) stats != scalar", q.id, opts);
+        }
+
+        // Dictionary-compiled dimension predicates: same tables, same
+        // probe order, same answers as the plain string-comparison build.
+        let dict_tables = DimTables::build_all_with(&q.joins, true, |dim| {
+            Ok(data.dimension(dim).unwrap().to_vec())
+        })
+        .unwrap();
+        prop_assert_eq!(dict_tables.probe_order(), tables.probe_order(),
+            "{}: dict build changes probe order", q.id);
+        let dict_layout = GroupLayout::new(&plan, &dict_tables).expect("packed key fits");
+        let (acc_dict, st_dict) =
+            run_vec(&blocks, &plan, &dict_tables, &dict_layout, KernelOpts::all_on());
+        prop_assert_eq!(&acc_dict, &acc_scalar, "{}: dict tables != scalar", q.id);
+        prop_assert_eq!(st_dict, st_scalar, "{}: dict stats != scalar", q.id);
 
         // And the reference executor blesses the shared answer.
         let mut rows: Vec<Row> = acc_scalar

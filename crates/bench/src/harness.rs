@@ -1,5 +1,6 @@
 //! Measurement and extrapolation machinery shared by the figure binaries.
 
+use clyde_common::obs::{profiles_json, QueryProfile};
 use clyde_common::{Obs, Result};
 use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions, IoSnapshot};
 use clyde_hive::{Hive, JoinStrategy};
@@ -246,6 +247,43 @@ pub fn measure_with_obs(
         config: config.clone(),
         queries,
         rc_fact_bytes,
+    })
+}
+
+/// Everything the `profile` binary (and CI) derives from one instrumented
+/// 13-query pass: per-query explain-analyze profiles, the collapsed-stack
+/// flamegraph, a calibration report, and the deterministic profile artifact
+/// consumed by `clyde-profdiff`.
+#[derive(Debug)]
+pub struct ProfileSuite {
+    pub profiles: Vec<QueryProfile>,
+    /// Collapsed stacks (`frame;frame value` lines) over simulated time.
+    pub flamegraph: String,
+    /// Per-query model-vs-measured drift table (wall-bearing, human-facing).
+    pub calibration: String,
+    /// The `clyde-profiles` JSON bundle (simulated counters only —
+    /// byte-identical across runs and host thread counts).
+    pub json: String,
+}
+
+/// Run the 13-query suite with observability on and assemble the profile
+/// artifacts.
+pub fn profile_suite(config: &MeasurementConfig) -> Result<ProfileSuite> {
+    let obs = Obs::enabled();
+    measure_with_obs(
+        config,
+        MeasureWhat {
+            hive: false,
+            ablations: false,
+        },
+        Arc::clone(&obs),
+    )?;
+    let profiles = obs.with_query_profiles(|ps| ps.to_vec());
+    Ok(ProfileSuite {
+        flamegraph: obs.flamegraph(),
+        calibration: crate::report::render_calibration(&profiles),
+        json: profiles_json(&profiles),
+        profiles,
     })
 }
 

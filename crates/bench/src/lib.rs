@@ -20,4 +20,5 @@
 pub mod cli;
 pub mod harness;
 pub mod paper;
+pub mod profdiff;
 pub mod report;

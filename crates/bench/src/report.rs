@@ -79,6 +79,72 @@ pub fn render_fault_impact(impacts: &[crate::harness::FaultImpact]) -> String {
     )
 }
 
+/// Render the cost-model calibration report across a suite of query
+/// profiles: one row per (query, job, phase) with the model's share of the
+/// priced time, the measured wall share, and the relative drift. Phases
+/// past the profile's threshold are flagged; a verdict line closes the
+/// report. Wall-bearing — for humans, not for byte-compared artifacts.
+pub fn render_calibration(profiles: &[clyde_common::obs::QueryProfile]) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut flagged: Vec<String> = Vec::new();
+    let mut threshold = clyde_common::obs::DEFAULT_DRIFT_THRESHOLD_PCT;
+    for p in profiles {
+        threshold = p.drift_threshold_pct;
+        for j in &p.jobs {
+            for ph in &j.phases {
+                let (wall_share, drift, flag) = match ph.drift_pct {
+                    Some(d) => (
+                        format!("{:.1}%", ph.wall_share * 100.0),
+                        format!("{d:+.1}%"),
+                        if ph.flagged { "DRIFT" } else { "" },
+                    ),
+                    None => ("-".to_string(), "-".to_string(), ""),
+                };
+                if ph.flagged {
+                    flagged.push(format!(
+                        "{} {} {:+.1}%",
+                        p.query,
+                        ph.phase.label(),
+                        ph.drift_pct.unwrap_or(0.0)
+                    ));
+                }
+                rows.push(vec![
+                    p.query.clone(),
+                    ph.phase.label().to_string(),
+                    format!("{:.2}s", ph.model_s),
+                    if ph.drift_pct.is_some() {
+                        format!("{:.1}%", ph.model_share * 100.0)
+                    } else {
+                        "-".to_string()
+                    },
+                    wall_share,
+                    drift,
+                    flag.to_string(),
+                ]);
+            }
+        }
+    }
+    let mut out = render_table(
+        &[
+            "query", "phase", "model", "model%", "wall%", "drift", "verdict",
+        ],
+        &rows,
+    );
+    if flagged.is_empty() {
+        out.push_str(&format!(
+            "calibration: all phases within {threshold:.0}% of CostParams pricing across {} queries\n",
+            profiles.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "calibration: {} phase(s) drift >{threshold:.0}%: {}\n",
+            flagged.len(),
+            flagged.join(", ")
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

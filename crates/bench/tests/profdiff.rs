@@ -1,0 +1,104 @@
+//! Golden-pair regression attribution: run the same query under the paper
+//! cost parameters and under a deliberately mispriced variant, then check
+//! `clyde-profdiff` pins the makespan delta on the phase that changed.
+
+use clyde_bench::profdiff;
+use clyde_common::obs::profiles_json;
+use clyde_common::Obs;
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_mapred::CostParams;
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::loader::{self, SsbLayout};
+use clyde_ssb::query_by_id;
+use clydesdale::{Clydesdale, Features};
+use std::sync::Arc;
+
+/// Run Q2.1 and Q4.1 under `params` and export the profile bundle JSON.
+/// (Q1.1 is no good as a golden pair: its date predicate is zone-resolved
+/// under `cluster_by_date`, so it barely probes at all.)
+fn profile_bundle(params: CostParams) -> String {
+    let dfs = Dfs::new(
+        ClusterSpec::tiny(3),
+        DfsOptions {
+            block_size: 1 << 20,
+            replication: 2,
+            policy: Box::new(ColocatingPlacement),
+        },
+    );
+    let layout = SsbLayout::default();
+    loader::load(
+        &dfs,
+        SsbGen::new(0.005, 46),
+        &layout,
+        &loader::LoadOpts {
+            rows_per_group: 2_000,
+            cif: true,
+            rcfile: false,
+            text: false,
+            cluster_by_date: true,
+        },
+    )
+    .unwrap();
+    let obs = Obs::enabled();
+    let clyde = Clydesdale::with_params(Arc::clone(&dfs), layout, Features::default(), params)
+        .with_obs(Arc::clone(&obs));
+    clyde.warm_dimension_cache().unwrap();
+    for id in ["Q2.1", "Q4.1"] {
+        clyde.query(&query_by_id(id).unwrap()).unwrap();
+    }
+    obs.with_query_profiles(profiles_json)
+}
+
+#[test]
+fn mispriced_probe_is_attributed_to_the_probe_phase() {
+    let paper = CostParams::paper();
+    let slow_probe = CostParams {
+        probe_rows_per_s: paper.probe_rows_per_s / 1000.0,
+        ..CostParams::paper()
+    };
+    let before = profile_bundle(paper);
+    let after = profile_bundle(slow_probe);
+    assert_ne!(before, after, "the mispricing must show up in the bundle");
+
+    let a = profdiff::parse_artifact(&before).unwrap();
+    let b = profdiff::parse_artifact(&after).unwrap();
+    assert_eq!(a.kind(), "clyde-profiles");
+    let report = profdiff::diff(&a, &b).unwrap();
+    assert_eq!(report.queries.len(), 2);
+
+    for q in &report.queries {
+        // The probe got 1000x slower, so every query's makespan moved up...
+        assert!(q.delta_s() > 0.0, "{} should have regressed", q.name);
+        // ...the components must explain at least 90% of that delta
+        // (ISSUE acceptance bar; the decomposition is exact, so 100%)...
+        assert!(
+            q.coverage() >= 0.9,
+            "{} attribution covers {:.2} < 0.9 of the delta",
+            q.name,
+            q.coverage()
+        );
+        // ...and the dominant component must be the probe phase itself.
+        let (top, contribution) = &q.components[0];
+        assert!(
+            top.contains("probe"),
+            "{}: top component was `{top}`, expected the probe phase",
+            q.name
+        );
+        assert!(*contribution > 0.0);
+        assert!(
+            q.headline().contains("probe"),
+            "headline should name the probe phase: {}",
+            q.headline()
+        );
+    }
+
+    let rendered = report.render();
+    assert!(rendered.contains("suite makespan"));
+    assert!(rendered.contains("probe"));
+
+    // The gate helper agrees: these regressions clear any small threshold.
+    assert_eq!(report.regressions(0.01).len(), 2);
+    // An identical pair attributes nothing.
+    let same = profdiff::diff(&a, &a).unwrap();
+    assert!(same.regressions(0.01).is_empty());
+}

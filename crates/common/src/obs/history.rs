@@ -217,6 +217,26 @@ impl StragglerStats {
     }
 }
 
+/// Per-node DFS I/O attributed to one job (the engine's scoped snapshot,
+/// mirrored here so profiles can report I/O next to phase costs without a
+/// dependency on the DFS crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoBytes {
+    pub node: usize,
+    /// Bytes read from a replica on this node.
+    pub local_read: u64,
+    /// Bytes this node read over the network.
+    pub remote_read: u64,
+    /// Bytes written to replicas on this node.
+    pub written: u64,
+}
+
+impl IoBytes {
+    pub fn read(&self) -> u64 {
+        self.local_read + self.remote_read
+    }
+}
+
 /// The full record of one executed job.
 #[derive(Debug, Clone, Default)]
 pub struct JobHistory {
@@ -252,6 +272,11 @@ pub struct JobHistory {
     /// Wall-clock nanoseconds per phase, summed across tasks (from the
     /// in-process runners; empty when the engine recorded none).
     pub wall_phases: Vec<(Phase, u64)>,
+    /// Per-node DFS I/O performed during this job (from the engine's scoped
+    /// snapshot; empty when the job ran without one).
+    pub io: Vec<IoBytes>,
+    /// Replica reads rejected by checksum verification during this job.
+    pub corrupt_reads: u64,
     pub tasks: Vec<TaskLane>,
 }
 
@@ -284,6 +309,32 @@ impl JobHistory {
     pub fn phase_max_s(&self, phase: Phase) -> f64 {
         self.tasks
             .iter()
+            .map(|t| {
+                t.phases
+                    .iter()
+                    .filter(|p| p.phase == phase)
+                    .map(|p| p.dur_s)
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of a phase's simulated duration across tasks of one kind.
+    pub fn phase_total_s_for(&self, kind: TaskKind, phase: Phase) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .flat_map(|t| &t.phases)
+            .filter(|p| p.phase == phase)
+            .map(|p| p.dur_s)
+            .sum()
+    }
+
+    /// Longest single-task total for a phase among tasks of one kind.
+    pub fn phase_max_s_for(&self, kind: TaskKind, phase: Phase) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == kind)
             .map(|t| {
                 t.phases
                     .iter()

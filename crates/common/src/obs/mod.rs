@@ -12,15 +12,20 @@
 //! `Obs::disabled()` is a zero-overhead no-op; instrumented code guards
 //! expensive collection behind [`Obs::is_enabled`].
 
+pub mod flame;
 pub mod history;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 pub mod trace;
 pub mod wall;
 
-pub use history::{JobHistory, Phase, PhaseSlice, StragglerStats, TaskKind, TaskLane};
+pub use history::{IoBytes, JobHistory, Phase, PhaseSlice, StragglerStats, TaskKind, TaskLane};
 pub use metrics::{HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use profile::{
+    profiles_json, JobProfileReport, PhaseRow, QueryProfile, StageRow, DEFAULT_DRIFT_THRESHOLD_PCT,
+};
 pub use span::{us, Span, SpanId, SpanKind, SpanRecorder};
 pub use wall::WallTimer;
 
@@ -45,6 +50,7 @@ pub struct Obs {
     spans: SpanRecorder,
     metrics: MetricsRegistry,
     histories: Mutex<Vec<JobHistory>>,
+    profiles: Mutex<Vec<QueryProfile>>,
     last_job: Mutex<Option<JobRef>>,
 }
 
@@ -55,6 +61,7 @@ impl Obs {
             spans: SpanRecorder::enabled(),
             metrics: MetricsRegistry::enabled(),
             histories: Mutex::new(Vec::new()),
+            profiles: Mutex::new(Vec::new()),
             last_job: Mutex::new(None),
         })
     }
@@ -66,6 +73,7 @@ impl Obs {
             spans: SpanRecorder::disabled(),
             metrics: MetricsRegistry::disabled(),
             histories: Mutex::new(Vec::new()),
+            profiles: Mutex::new(Vec::new()),
             last_job: Mutex::new(None),
         })
     }
@@ -105,6 +113,24 @@ impl Obs {
         f(&self.histories.lock())
     }
 
+    /// Store a finished query's explain-analyze profile.
+    pub fn record_query_profile(&self, p: QueryProfile) {
+        if self.enabled {
+            self.profiles.lock().push(p);
+        }
+    }
+
+    /// Run `f` over every recorded query profile, in recording order.
+    pub fn with_query_profiles<R>(&self, f: impl FnOnce(&[QueryProfile]) -> R) -> R {
+        f(&self.profiles.lock())
+    }
+
+    /// Collapsed-stack flamegraph export of every recorded span
+    /// (deterministic over simulated time; see [`flame::collapsed`]).
+    pub fn flamegraph(&self) -> String {
+        flame::collapsed(&self.spans)
+    }
+
     /// Serialize all recorded spans as Chrome trace-event JSON.
     pub fn chrome_trace(&self) -> String {
         trace::chrome_trace(&self.spans)
@@ -135,6 +161,7 @@ impl Obs {
         self.spans.reset();
         self.metrics.reset();
         self.histories.lock().clear();
+        self.profiles.lock().clear();
         *self.last_job.lock() = None;
     }
 }
@@ -161,7 +188,7 @@ mod tests {
     #[test]
     fn enabled_obs_tracks_jobs_and_resets() {
         let obs = Obs::enabled();
-        obs.metrics().counter_add("jobs", 1);
+        obs.metrics().counter_add("mapred.jobs", 1);
         let h = JobHistory {
             name: "j".into(),
             map_s: 2.0,
@@ -172,9 +199,17 @@ mod tests {
         assert_eq!(obs.last_job().unwrap().pid, j.pid);
         obs.with_histories(|hs| assert_eq!(hs.len(), 1));
         assert!(obs.summary().contains("job j"));
-        assert!(obs.summary().contains("jobs = 1"));
+        assert!(obs.summary().contains("mapred.jobs = 1"));
+        obs.record_query_profile(QueryProfile::from_histories(
+            "Q1.1",
+            &[],
+            0.5,
+            DEFAULT_DRIFT_THRESHOLD_PCT,
+        ));
+        obs.with_query_profiles(|ps| assert_eq!(ps.len(), 1));
         obs.reset();
         obs.with_histories(|hs| assert!(hs.is_empty()));
+        obs.with_query_profiles(|ps| assert!(ps.is_empty()));
         assert!(obs.last_job().is_none());
         assert!(obs.spans().spans().is_empty());
     }

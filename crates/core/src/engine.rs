@@ -2,8 +2,8 @@
 
 use crate::config::Features;
 use crate::planner::plan_query;
-use clyde_common::obs::{us, Obs, SpanKind};
-use clyde_common::{Result, Row};
+use clyde_common::obs::{us, Obs, QueryProfile, SpanKind, DEFAULT_DRIFT_THRESHOLD_PCT};
+use clyde_common::{ClydeError, Result, Row};
 use clyde_dfs::Dfs;
 use clyde_mapred::{CostParams, Engine, FaultPlan, JobCost, JobProfile};
 use clyde_ssb::loader::SsbLayout;
@@ -237,12 +237,15 @@ impl Clydesdale {
         )?;
         spec.faults = self.faults.clone();
         spec.host_threads = self.host_threads;
+        let obs = self.engine.obs();
+        // Histories recorded before this query belong to earlier queries on
+        // the same hub; everything past this index is ours.
+        let hist_before = obs.with_histories(|hs| hs.len());
         let result = self.engine.run_job(&spec)?;
         let mut rows = result.rows;
         query.finish_result(&mut rows);
         // Price the client-side sort like the paper's single-process sort.
         let final_sort_s = rows.len() as f64 / self.engine.params().sort_records_per_s + 0.5;
-        let obs = self.engine.obs();
         if obs.is_enabled() {
             // Append the client-side sort right after the job on its track.
             if let Some(job) = obs.last_job() {
@@ -257,9 +260,18 @@ impl Clydesdale {
                     vec![("rows".into(), rows.len().to_string())],
                 );
             }
-            obs.metrics().counter_add("clyde.queries", 1);
+            obs.metrics().counter_add("mapred.queries", 1);
             obs.metrics()
-                .histogram_record("clyde.final_sort_s", final_sort_s);
+                .histogram_record("mapred.final_sort_s", final_sort_s);
+            let profile = obs.with_histories(|hs| {
+                QueryProfile::from_histories(
+                    &query.id,
+                    &hs[hist_before..],
+                    final_sort_s,
+                    DEFAULT_DRIFT_THRESHOLD_PCT,
+                )
+            });
+            obs.record_query_profile(profile);
         }
         Ok(QueryResult {
             rows,
@@ -268,6 +280,27 @@ impl Clydesdale {
             final_sort_s,
             locality: result.locality,
         })
+    }
+
+    /// Execute a query and return its result together with the
+    /// explain-analyze profile (model-vs-measured stage/phase tree plus
+    /// calibration verdicts). Requires an enabled [`Obs`] hub — profiles are
+    /// assembled from recorded job histories.
+    pub fn explain_analyze(&self, query: &StarQuery) -> Result<(QueryResult, QueryProfile)> {
+        let obs = self.engine.obs();
+        if !obs.is_enabled() {
+            return Err(ClydeError::Config(
+                "explain analyze needs observability: construct with with_obs(Obs::enabled())"
+                    .into(),
+            ));
+        }
+        let result = self.query(query)?;
+        let profile = obs.with_query_profiles(|ps| {
+            ps.last()
+                .cloned()
+                .ok_or_else(|| ClydeError::Config("query recorded no profile".into()))
+        })?;
+        Ok((result, profile))
     }
 }
 

@@ -359,6 +359,7 @@ impl MapRunner for MtMapRunner {
                 c.rowiter_rows += stats.rows;
             }
             c.probe_rows += stats.probes;
+            c.prefetch_activations += stats.prefetch_activations;
         });
 
         // Merge thread results in first-morsel order (already sorted), then

@@ -80,7 +80,7 @@ impl ProbePlan {
 }
 
 /// Counters produced by the probe phase, feeding the cost model.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct ProbeStats {
     /// Rows iterated.
     pub rows: u64,
@@ -89,13 +89,28 @@ pub struct ProbeStats {
     pub probes: u64,
     /// Rows surviving all predicates and probes.
     pub survivors: u64,
+    /// Joins probed with software prefetching active (direct table cleared
+    /// [`PREFETCH_MIN_SLOTS`]). Kernel-specific: the scalar path never
+    /// prefetches, so equality deliberately ignores this field.
+    pub prefetch_activations: u64,
 }
+
+/// Semantic equality: the invariant shared by every kernel variant is the
+/// rows/probes/survivors accounting, not which optimization layers fired.
+impl PartialEq for ProbeStats {
+    fn eq(&self, other: &ProbeStats) -> bool {
+        self.rows == other.rows && self.probes == other.probes && self.survivors == other.survivors
+    }
+}
+
+impl Eq for ProbeStats {}
 
 impl ProbeStats {
     pub fn add(&mut self, other: &ProbeStats) {
         self.rows += other.rows;
         self.probes += other.probes;
         self.survivors += other.survivors;
+        self.prefetch_activations += other.prefetch_activations;
     }
 }
 
@@ -502,7 +517,9 @@ fn compact_sel_next(sel: &mut [u32], live: usize, p: &CompiledFactPred, vals: &[
 /// pass, where a prefetch is measured pure overhead (~20% slower on the
 /// L2-resident date table — the probe loops are issue-bound, so even the
 /// few extra prefetch-address instructions cost).
-const PREFETCH_MIN_SLOTS: usize = 1 << 19;
+/// Public so the `profile` bench target can size its fixture to provably
+/// clear the gate (and report when it does not).
+pub const PREFETCH_MIN_SLOTS: usize = 1 << 19;
 
 /// How many rows ahead the probe loops prefetch the table slot: far enough
 /// to cover a cache miss, near enough to stay inside the block.
@@ -788,6 +805,9 @@ pub fn probe_block_vec(
                     && rate >= BRANCH_FREE_BAND.0
                     && rate <= BRANCH_FREE_BAND.1;
                 let do_prefetch = opts.prefetch && ids.len() >= PREFETCH_MIN_SLOTS;
+                if do_prefetch {
+                    stats.prefetch_activations += 1;
+                }
                 if fused {
                     probe_direct::<true>(
                         len,
@@ -1054,6 +1074,78 @@ mod tests {
             acc.values().next().copied().unwrap(),
             expect[0].at(0).as_i64().unwrap()
         );
+    }
+
+    #[test]
+    fn prefetch_activations_count_large_direct_tables() {
+        // Q4.1's part join keeps 2/5 of the dimension (mfgr in #1/#2), dense
+        // enough for a direct table over the full key range — hand a part
+        // table larger than PREFETCH_MIN_SLOTS to open the prefetch gate.
+        let data = SsbGen::new(0.005, 46).gen_all();
+        let q = query_by_id("Q4.1").unwrap();
+        let fact_schema = schema::lineorder_schema();
+        let cols: Vec<usize> = q
+            .fact_columns()
+            .iter()
+            .map(|c| fact_schema.index_of(c).unwrap())
+            .collect();
+        let scan_schema = fact_schema.project(&cols);
+        let plan = ProbePlan::compile(&q, &scan_schema).unwrap();
+        let big_parts: Vec<Row> = (1..=(PREFETCH_MIN_SLOTS as i32 + 16))
+            .map(|key| {
+                clyde_common::row![
+                    key, "part", "MFGR#1", "MFGR#11", "MFGR#111", "red", "STANDARD", 1i32, "BOX"
+                ]
+            })
+            .collect();
+        let tables = DimTables::build_all(&q.joins, |dim| {
+            if dim == "part" {
+                Ok(big_parts.clone())
+            } else {
+                Ok(data.dimension(dim).unwrap().to_vec())
+            }
+        })
+        .unwrap();
+        assert!(
+            tables.tables[2].direct_parts().unwrap().1.len() >= PREFETCH_MIN_SLOTS,
+            "fixture must clear the prefetch threshold"
+        );
+        let block = block_of(&data, &scan_schema, &cols);
+
+        let (acc_on, on) = vec_probe_opts(&block, &plan, &tables, KernelOpts::all_on());
+        assert!(on.prefetch_activations > 0, "gate open: counter must fire");
+        let (acc_off, off) = vec_probe_opts(
+            &block,
+            &plan,
+            &tables,
+            KernelOpts {
+                prefetch: false,
+                ..KernelOpts::all_on()
+            },
+        );
+        assert_eq!(off.prefetch_activations, 0);
+        // Prefetching changes memory timing only: identical results and
+        // identical semantic stats (the manual PartialEq ignores the
+        // activation counter by design).
+        assert_eq!(acc_on, acc_off);
+        assert_eq!(on, off);
+
+        let mut acc_scalar = FxHashMap::default();
+        let mut scalar = ProbeStats::default();
+        probe_block(&block, &plan, &tables, &mut acc_scalar, &mut scalar).unwrap();
+        assert_eq!(
+            scalar.prefetch_activations, 0,
+            "scalar path never prefetches"
+        );
+        assert_eq!(on, scalar);
+        assert_eq!(acc_on, acc_scalar);
+
+        // At the committed bench scale the gate stays closed (ROADMAP PR-5
+        // follow-up): the same query on real SF 0.005 dimensions never fires.
+        let small = DimTables::build_all(&q.joins, |dim| Ok(data.dimension(dim).unwrap().to_vec()))
+            .unwrap();
+        let (_, st) = vec_probe_opts(&block, &plan, &small, KernelOpts::all_on());
+        assert_eq!(st.prefetch_activations, 0);
     }
 
     /// Run the vectorized kernel and rematerialize its packed groups.

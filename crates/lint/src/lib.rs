@@ -25,6 +25,13 @@
 //!   (the runners, the engine, the lock-order checker, and the handful of
 //!   shared-state holders listed in [`D004_AUDITED`]), so shared mutable
 //!   state cannot creep into task code paths unreviewed.
+//! * **D005 `metricname`** — every `counter_add`/`gauge_set`/
+//!   `histogram_record` call site names its metric with a string literal
+//!   drawn from the registered namespaces (`mapred.*`, `dfs.*`,
+//!   `scheduler.*`, `probe.*`). Literal names keep the metric surface
+//!   greppable and snapshot-diffable; the namespace registry keeps tools
+//!   like `clyde-profdiff` and the CI metric goldens from silently missing
+//!   a renamed counter.
 //!
 //! Violations are suppressed by a pragma on the offending line or the line
 //! directly above:
@@ -52,6 +59,8 @@ pub enum Rule {
     Entropy,
     /// D004: concurrency primitive outside an audited module.
     Concurrency,
+    /// D005: metric name that is not a literal in a registered namespace.
+    MetricName,
     /// P001: malformed `clyde-lint` pragma.
     BadPragma,
 }
@@ -63,6 +72,7 @@ impl Rule {
             Rule::WallClock => "D002",
             Rule::Entropy => "D003",
             Rule::Concurrency => "D004",
+            Rule::MetricName => "D005",
             Rule::BadPragma => "P001",
         }
     }
@@ -74,6 +84,7 @@ impl Rule {
             Rule::WallClock => "wallclock",
             Rule::Entropy => "entropy",
             Rule::Concurrency => "concurrency",
+            Rule::MetricName => "metricname",
             Rule::BadPragma => "pragma",
         }
     }
@@ -349,7 +360,13 @@ fn parse_pragmas(
                 return None;
             }
             let rule_name = rule_name.trim().to_string();
-            let known = ["unordered", "wallclock", "entropy", "concurrency"];
+            let known = [
+                "unordered",
+                "wallclock",
+                "entropy",
+                "concurrency",
+                "metricname",
+            ];
             if !known.contains(&rule_name.as_str()) {
                 return None;
             }
@@ -366,8 +383,8 @@ fn parse_pragmas(
                 rule: Rule::BadPragma,
                 message: format!(
                     "malformed pragma `{}` — expected \
-                     `clyde-lint: allow(<unordered|wallclock|entropy|concurrency>, reason=...)` \
-                     with a non-empty reason",
+                     `clyde-lint: allow(<unordered|wallclock|entropy|concurrency|metricname>, \
+                     reason=...)` with a non-empty reason",
                     rest
                 ),
             }),
@@ -655,6 +672,86 @@ fn d004_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
     }
 }
 
+/// The metric emitters D005 covers and the namespaces a literal name may
+/// live in. Renames that leave these prefixes break snapshot goldens and
+/// `clyde-profdiff` attribution silently — hence a lint, not a convention.
+const D005_EMITTERS: [&str; 3] = ["counter_add", "gauge_set", "histogram_record"];
+pub const D005_NAMESPACES: [&str; 4] = ["mapred.", "dfs.", "scheduler.", "probe."];
+
+/// Files exempt from D005: the metrics registry itself (defines the
+/// emitters and unit-tests them with throwaway names).
+pub const D005_ALLOWED: &[&str] = &["crates/common/src/obs/metrics.rs"];
+
+/// How many lines below an emitter call D005 searches for the name literal
+/// (multi-line call sites put the name on the following line).
+const D005_WINDOW: usize = 2;
+
+/// Extract the first double-quoted literal from `raw`, starting no earlier
+/// than byte `from`.
+fn first_str_literal(raw: &str, from: usize) -> Option<&str> {
+    let tail = raw.get(from..)?;
+    let open = tail.find('"')?;
+    let body = &tail[open + 1..];
+    let close = body.find('"')?;
+    Some(&body[..close])
+}
+
+fn d005_scan(file: &Path, masked: &str, raw: &str, violations: &mut Vec<Violation>) {
+    if rel_allowed(file, D005_ALLOWED) {
+        return;
+    }
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    for (idx, line) in masked_lines.iter().enumerate() {
+        let Some(emitter) = D005_EMITTERS.iter().find(|e| contains_token(line, e)) else {
+            continue;
+        };
+        // A definition or forwarding signature, not a call site.
+        if contains_token(line, "fn") {
+            continue;
+        }
+        // The name literal: same line after the emitter token, or (for
+        // wrapped calls) the first literal on one of the next few lines.
+        let call_pos = line.find(emitter).unwrap_or(0);
+        let mut name: Option<&str> = raw_lines
+            .get(idx)
+            .and_then(|r| first_str_literal(r, call_pos.min(r.len())));
+        if name.is_none() {
+            for look in raw_lines.iter().skip(idx + 1).take(D005_WINDOW) {
+                name = first_str_literal(look, 0);
+                if name.is_some() {
+                    break;
+                }
+            }
+        }
+        match name {
+            None => violations.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::MetricName,
+                message: format!(
+                    "`{emitter}` call without a literal metric name — names must be \
+                     greppable string literals in a registered namespace \
+                     (mapred.* | dfs.* | scheduler.* | probe.*)"
+                ),
+            }),
+            Some(n) if !D005_NAMESPACES.iter().any(|p| n.starts_with(p)) => {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::MetricName,
+                    message: format!(
+                        "metric name `{n}` outside the registered namespaces \
+                         (mapred.* | dfs.* | scheduler.* | probe.*) — register the \
+                         namespace in clyde_lint::D005_NAMESPACES or fix the name"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}
+
 /// Scan one file's source text. `file` is used for allowlisting and
 /// reporting only.
 pub fn scan_source(file: &Path, src: &str) -> Vec<Violation> {
@@ -665,6 +762,7 @@ pub fn scan_source(file: &Path, src: &str) -> Vec<Violation> {
     d002_scan(file, &masked, &mut violations);
     d003_scan(file, &masked, &mut violations);
     d004_scan(file, &masked, &mut violations);
+    d005_scan(file, &masked, src, &mut violations);
     // A pragma suppresses matching violations on its own line and the line
     // directly below (so it can ride above the offending statement).
     violations.retain(|v| {
@@ -791,6 +889,38 @@ mod tests {
         assert!(vs.iter().all(|v| v.rule == Rule::Concurrency));
         let audited = scan_source(Path::new("crates/mapred/src/engine.rs"), src);
         assert!(audited.is_empty());
+    }
+
+    #[test]
+    fn d005_flags_unregistered_namespace() {
+        let src = "fn f(m: &Metrics) {\n    m.counter_add(\"clyde.jobs\", 1);\n}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::MetricName]);
+    }
+
+    #[test]
+    fn d005_flags_non_literal_name() {
+        let src = "fn f(m: &Metrics, name: &str) {\n    m.gauge_set(name, 0.5);\n}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::MetricName]);
+    }
+
+    #[test]
+    fn d005_accepts_registered_names_and_wrapped_calls() {
+        let src = "fn f(m: &Metrics) {\n    m.counter_add(\"mapred.jobs\", 1);\n    m.gauge_set(\"scheduler.split_locality\", 0.5);\n    m.histogram_record(\n        \"dfs.scan.local_bytes\",\n        2.0,\n    );\n    m.counter_add(\"probe.prefetch_activations\", 1);\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn d005_skips_definitions_and_registry_module() {
+        let src = "impl Metrics {\n    pub fn counter_add(&self, name: &str, delta: u64) {\n        self.add(name, delta);\n    }\n}\n";
+        assert!(scan(src).is_empty());
+        let call = "fn f(m: &Metrics) { m.counter_add(\"x\", 1); }\n";
+        assert!(scan_source(Path::new("crates/common/src/obs/metrics.rs"), call).is_empty());
+    }
+
+    #[test]
+    fn d005_pragma_suppresses() {
+        let src = "fn f(m: &Metrics) {\n    // clyde-lint: allow(metricname, reason=experimental namespace behind a feature flag)\n    m.counter_add(\"exp.jobs\", 1);\n}\n";
+        assert!(scan(src).is_empty());
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() -> ExitCode {
             "--self-test" => self_test = true,
             "--help" | "-h" => {
                 println!(
-                    "clyde-lint: determinism & concurrency invariants (D001-D004)\n\
+                    "clyde-lint: determinism & concurrency invariants (D001-D005)\n\
                      usage: clyde-lint [--root <dir>] [--self-test]"
                 );
                 return ExitCode::SUCCESS;
@@ -69,11 +69,12 @@ fn usage() -> ExitCode {
 /// linting itself: if a rule regresses into silence, CI fails here.
 fn run_self_test(root: &Path) -> ExitCode {
     let fixtures = root.join("crates/lint/fixtures");
-    let cases: [(&str, Option<Rule>); 5] = [
+    let cases: [(&str, Option<Rule>); 6] = [
         ("d001_unordered.rs", Some(Rule::Unordered)),
         ("d002_wallclock.rs", Some(Rule::WallClock)),
         ("d003_entropy.rs", Some(Rule::Entropy)),
         ("d004_concurrency.rs", Some(Rule::Concurrency)),
+        ("d005_metricname.rs", Some(Rule::MetricName)),
         ("clean.rs", None),
     ];
     let mut failed = false;

@@ -785,7 +785,7 @@ impl Engine {
         cluster: &clyde_dfs::ClusterSpec,
         io_scope: Option<&clyde_dfs::IoScope<'_>>,
     ) {
-        let hist = history::job_history(profile, cost, &self.params, cluster);
+        let mut hist = history::job_history(profile, cost, &self.params, cluster);
         let m = self.obs.metrics();
         m.counter_add("mapred.jobs", 1);
         m.counter_add("mapred.map_tasks", profile.map_tasks.len() as u64);
@@ -839,6 +839,11 @@ impl Engine {
         m.counter_add("dfs.scan.remote_bytes", total_map.remote_bytes);
         m.counter_add("dfs.zone.checked", total_map.zone_checked);
         m.counter_add("dfs.zone.skipped", total_map.zone_skipped);
+        // Like the recovery counters: only emitted when the prefetch layer
+        // actually fired, so small-SF metric sets stay unchanged.
+        if total_map.prefetch_activations > 0 {
+            m.counter_add("probe.prefetch_activations", total_map.prefetch_activations);
+        }
         if let Some(scope) = io_scope {
             let delta = scope.delta();
             m.counter_add("dfs.io.local_read_bytes", delta.total_local_read());
@@ -847,15 +852,29 @@ impl Engine {
             if delta.total_corrupt_reads() > 0 {
                 m.counter_add("dfs.corrupt_reads_detected", delta.total_corrupt_reads());
             }
+            // Mirror the scoped snapshot into the history so query profiles
+            // can report per-node I/O next to phase costs.
+            hist.io = delta
+                .per_node
+                .iter()
+                .map(|n| clyde_common::obs::IoBytes {
+                    node: n.node,
+                    local_read: n.local_read,
+                    remote_read: n.remote_read,
+                    written: n.written,
+                })
+                .collect();
+            hist.corrupt_reads = delta.total_corrupt_reads();
         }
         m.gauge_set("scheduler.split_locality", profile.split_locality);
         m.gauge_set("mapred.scan_locality", hist.locality);
         for t in &hist.tasks {
-            let name = match t.kind {
-                TaskKind::Map => "mapred.map_task_sim_s",
-                TaskKind::Reduce => "mapred.reduce_task_sim_s",
-            };
-            m.histogram_record(name, t.dur_s);
+            // Literal names per arm so the metric registry stays greppable
+            // (and lintable) as string constants.
+            match t.kind {
+                TaskKind::Map => m.histogram_record("mapred.map_task_sim_s", t.dur_s),
+                TaskKind::Reduce => m.histogram_record("mapred.reduce_task_sim_s", t.dur_s),
+            }
             m.histogram_record("mapred.task_wall_ms", t.wall_ns as f64 / 1e6);
         }
         self.obs.record_job(hist);

@@ -168,6 +168,10 @@ pub fn job_history(
         dead_nodes: profile.dead_nodes.len() as u32,
         rereplicated_blocks: profile.rereplicated_blocks,
         wall_phases: profile.wall_phases.clone(),
+        // Per-job I/O is attributed by the engine after pricing (it owns the
+        // DFS scope); histories start with an empty snapshot.
+        io: Vec::new(),
+        corrupt_reads: 0,
         tasks,
     }
 }

@@ -4,9 +4,11 @@
 //! `MtMapRunner` may execute with any number of *host* OS threads — the
 //! paper's simulated cluster still has 6 map slots, and the cost model
 //! prices with that — so query results, simulated-time spans (as exported
-//! Chrome traces), and metric snapshots (wall-clock metrics excluded) must
-//! be byte-identical for 1, 2, and 8 host threads, and across repeated runs.
+//! Chrome traces), metric snapshots (wall-clock metrics excluded), query
+//! profiles, and flamegraphs must be byte-identical for 1, 2, and 8 host
+//! threads, and across repeated runs.
 
+use clyde_common::obs::profiles_json;
 use clyde_common::{rowcodec, Obs};
 use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
 use clyde_ssb::gen::SsbGen;
@@ -15,9 +17,19 @@ use clyde_ssb::query_by_id;
 use clydesdale::Clydesdale;
 use std::sync::Arc;
 
+/// The byte-comparable artifacts of one full Q2.1 execution.
+struct Artifacts {
+    rows: Vec<u8>,
+    trace: String,
+    metrics: String,
+    profile_json: String,
+    flamegraph: String,
+}
+
 /// One full Q2.1 execution on a fresh cluster; returns the deterministic
-/// artifacts (result bytes, chrome trace, wall-free metrics rendering).
-fn run_q21(host_threads: Option<u32>) -> (Vec<u8>, String, String) {
+/// artifacts (result bytes, chrome trace, wall-free metrics rendering,
+/// profile bundle, collapsed flamegraph).
+fn run_q21(host_threads: Option<u32>) -> Artifacts {
     let dfs = Dfs::new(
         ClusterSpec::tiny(3),
         DfsOptions {
@@ -56,28 +68,44 @@ fn run_q21(host_threads: Option<u32>) -> (Vec<u8>, String, String) {
         .filter(|l| !l.starts_with("mapred.task_wall"))
         .map(|l| format!("{l}\n"))
         .collect();
-    (rowcodec::write_rows(&r.rows), obs.chrome_trace(), metrics)
+    Artifacts {
+        rows: rowcodec::write_rows(&r.rows),
+        trace: obs.chrome_trace(),
+        metrics,
+        profile_json: obs.with_query_profiles(profiles_json),
+        flamegraph: obs.flamegraph(),
+    }
 }
 
 #[test]
 fn q21_invariant_across_host_thread_counts() {
-    let (rows, trace, metrics) = run_q21(None);
-    assert!(!rows.is_empty());
-    assert!(trace.contains("traceEvents"));
-    assert!(metrics.contains("mapred.map_tasks"));
+    let a = run_q21(None);
+    assert!(!a.rows.is_empty());
+    assert!(a.trace.contains("traceEvents"));
+    assert!(a.metrics.contains("mapred.map_tasks"));
+    assert!(a.profile_json.contains("\"format\":\"clyde-profiles\""));
+    assert!(a.flamegraph.contains("map"));
     for t in [1u32, 2, 8] {
-        let (rows_t, trace_t, metrics_t) = run_q21(Some(t));
+        let b = run_q21(Some(t));
         assert_eq!(
-            rows, rows_t,
+            a.rows, b.rows,
             "results must not depend on host threads ({t})"
         );
         assert_eq!(
-            trace, trace_t,
+            a.trace, b.trace,
             "simulated-time spans must not depend on host threads ({t})"
         );
         assert_eq!(
-            metrics, metrics_t,
+            a.metrics, b.metrics,
             "metric snapshots must not depend on host threads ({t})"
+        );
+        assert_eq!(
+            a.profile_json, b.profile_json,
+            "query profiles must not depend on host threads ({t})"
+        );
+        assert_eq!(
+            a.flamegraph, b.flamegraph,
+            "flamegraphs must not depend on host threads ({t})"
         );
     }
 }
@@ -86,7 +114,9 @@ fn q21_invariant_across_host_thread_counts() {
 fn q21_dual_run_is_byte_identical() {
     let first = run_q21(None);
     let second = run_q21(None);
-    assert_eq!(first.0, second.0, "result rows");
-    assert_eq!(first.1, second.1, "chrome trace");
-    assert_eq!(first.2, second.2, "metric snapshot");
+    assert_eq!(first.rows, second.rows, "result rows");
+    assert_eq!(first.trace, second.trace, "chrome trace");
+    assert_eq!(first.metrics, second.metrics, "metric snapshot");
+    assert_eq!(first.profile_json, second.profile_json, "profile bundle");
+    assert_eq!(first.flamegraph, second.flamegraph, "flamegraph");
 }

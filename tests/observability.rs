@@ -132,7 +132,7 @@ fn histories_and_metrics_mirror_the_job() {
 
     let snap = obs.metrics().snapshot();
     assert_eq!(snap.counter("mapred.jobs"), Some(1));
-    assert_eq!(snap.counter("clyde.queries"), Some(1));
+    assert_eq!(snap.counter("mapred.queries"), Some(1));
     assert_eq!(
         snap.counter("mapred.map_tasks"),
         Some(result.profile.map_tasks.len() as u64)
@@ -160,4 +160,55 @@ fn histories_and_metrics_mirror_the_job() {
     obs.reset();
     obs.with_histories(|hs| assert!(hs.is_empty()));
     assert!(obs.metrics().snapshot().entries.is_empty());
+    obs.with_query_profiles(|ps| assert!(ps.is_empty()));
+}
+
+/// `explain_analyze` returns a per-stage/per-phase profile that accounts
+/// for the whole simulated makespan, carries the DFS I/O snapshot, and
+/// keeps wall time out of the JSON artifact.
+#[test]
+fn explain_analyze_profiles_the_query() {
+    let dfs = cluster(3);
+    let layout = load(&dfs, 0.005);
+    let obs = Obs::enabled();
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout).with_obs(Arc::clone(&obs));
+    clyde.warm_dimension_cache().unwrap();
+    let q = query_by_id("Q2.1").unwrap();
+    let (result, profile) = clyde.explain_analyze(&q).unwrap();
+
+    assert_eq!(profile.query, "Q2.1");
+    assert_eq!(profile.jobs.len(), 1);
+    let job = &profile.jobs[0];
+    assert_eq!(job.map_tasks, result.profile.map_tasks.len());
+    assert_eq!(job.reduce_tasks, result.profile.reduce_tasks.len());
+    // Stage rows decompose the job's simulated total exactly.
+    let stage_sum: f64 = job.stages.iter().map(|s| s.sim_s).sum();
+    assert!((stage_sum - job.sim_total_s).abs() < 1e-6);
+    assert!((profile.total_s - (job.sim_total_s + profile.final_sort_s)).abs() < 1e-9);
+    // Wall measurements rode along for calibration...
+    assert!(job.wall_total_ns > 0);
+    assert!(job.phases.iter().any(|p| p.drift_pct.is_some()));
+    // ...and the DFS per-node I/O snapshot made it into the profile.
+    assert!(!profile.io.is_empty());
+    assert!(profile.io.iter().map(|io| io.read()).sum::<u64>() > 0);
+
+    // Human rendering carries the calibration verdict; the JSON artifact is
+    // sim-only so it can be byte-compared across runs.
+    let text = profile.render();
+    assert!(text.contains("explain analyze Q2.1"));
+    assert!(text.contains("calibration:"));
+    assert!(!profile.to_json().contains("wall"));
+
+    // The same profile was recorded on the hub for harness export.
+    obs.with_query_profiles(|ps| {
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].query, "Q2.1");
+    });
+
+    // Without observability the engine refuses rather than guessing.
+    let dfs2 = cluster(3);
+    let layout2 = load(&dfs2, 0.005);
+    let plain = Clydesdale::new(Arc::clone(&dfs2), layout2);
+    plain.warm_dimension_cache().unwrap();
+    assert!(plain.explain_analyze(&q).is_err());
 }

@@ -19,10 +19,20 @@
 //! must produce byte-identical artifacts; any diff is printed and the
 //! process exits non-zero, which is what the CI `static-analysis` job gates
 //! on.
+//!
+//! `--workload` switches from single solo queries to the seeded
+//! mixed-tenant stream of `clyde_bench::workload` replayed through the
+//! multi-job server under fair scheduling (defaults: SF 0.005, seed 46) —
+//! the same dual-run and host-thread sweep, proving that *multi-job
+//! interleaving* is byte-identical too: every served query's rows, the
+//! server-run swimlanes in the Chrome trace, and the `scheduler.*`
+//! metrics.
 
 use clyde_bench::harness::{measurement_cluster, MeasurementConfig};
+use clyde_bench::workload;
 use clyde_common::{Obs, Result};
 use clyde_dfs::{ColocatingPlacement, Dfs, DfsOptions};
+use clyde_mapred::SchedPolicy;
 use clyde_ssb::gen::SsbGen;
 use clyde_ssb::loader::{self, SsbLayout};
 use clyde_ssb::queries::StarQuery;
@@ -93,6 +103,28 @@ fn run_once(
     })
 }
 
+/// One full replay of the mixed-tenant workload through the multi-job
+/// server (fair policy), reduced to the same three artifacts: all served
+/// rows in submission order, the trace (solo query spans plus the server
+/// run's per-tenant swimlanes), and the metrics snapshot including the
+/// `scheduler.*` queue/latency series.
+fn run_workload_once(config: &MeasurementConfig, host_threads: Option<u32>) -> Result<Artifacts> {
+    let obs = Obs::enabled();
+    let clyde =
+        workload::build_clyde(config.sf, config.seed, Some(Arc::clone(&obs)), host_threads)?;
+    let arrivals = workload::scenario(config.seed);
+    let run = workload::run_policy(&clyde, &arrivals, SchedPolicy::Fair)?;
+    let mut results = Vec::new();
+    for s in &run.served {
+        results.extend_from_slice(&clyde_common::rowcodec::write_rows(&s.rows));
+    }
+    Ok(Artifacts {
+        results,
+        trace: obs.chrome_trace(),
+        metrics: filter_wall(&obs.metrics().snapshot().render()),
+    })
+}
+
 /// Compare `got` against `want`; report which artifact diverged.
 fn diff(label: &str, want: &Artifacts, got: &Artifacts) -> bool {
     let mut ok = true;
@@ -128,7 +160,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: shadow_check [measurement-sf] [--seed <n>] [--queries <id,id,...>]");
+    eprintln!(
+        "usage: shadow_check [measurement-sf] [--seed <n>] [--queries <id,id,...>] [--workload]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -143,6 +177,8 @@ fn main() -> ExitCode {
         ..MeasurementConfig::default()
     };
     let mut query_ids = vec!["Q1.1".to_string(), "Q2.1".to_string()];
+    let mut workload_mode = false;
+    let mut sf_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -154,12 +190,25 @@ fn main() -> ExitCode {
                 Some(list) => query_ids = list.split(',').map(|s| s.trim().to_string()).collect(),
                 None => usage("--queries needs a comma-separated list"),
             },
+            "--workload" => workload_mode = true,
             "--help" | "-h" => usage(""),
             other => match other.parse::<f64>() {
-                Ok(v) if v > 0.0 => config.sf = v,
+                Ok(v) if v > 0.0 => {
+                    config.sf = v;
+                    sf_given = true;
+                }
                 _ => usage(&format!("unrecognized argument `{other}`")),
             },
         }
+    }
+
+    if workload_mode {
+        // The workload replays 23 jobs per run; default to the workload
+        // bench's own scale factor unless one was given explicitly.
+        if !sf_given {
+            config.sf = 0.005;
+        }
+        return check_workload(&config);
     }
 
     let mut failed = false;
@@ -209,6 +258,56 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!("shadow_check: OK — all runs byte-identical across reruns and thread counts");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `--workload` mode: dual-run the concurrent mixed-tenant workload,
+/// then sweep the host thread count — multi-job interleaving must be
+/// byte-identical everywhere.
+fn check_workload(config: &MeasurementConfig) -> ExitCode {
+    let mut failed = false;
+    let baseline = match run_workload_once(config, None) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("shadow_check: workload baseline run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_workload_once(config, None) {
+        Ok(shadow) => {
+            if diff("workload rerun", &baseline, &shadow) {
+                println!("shadow_check: OK workload: dual run byte-identical");
+            } else {
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("shadow_check: workload shadow run failed: {e}");
+            failed = true;
+        }
+    }
+    for t in THREAD_COUNTS {
+        match run_workload_once(config, Some(t)) {
+            Ok(shadow) => {
+                if diff(&format!("workload host-threads={t}"), &baseline, &shadow) {
+                    println!("shadow_check: OK workload: host-threads={t} byte-identical");
+                } else {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("shadow_check: workload host-threads={t} run failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "shadow_check: OK — concurrent workload byte-identical across reruns and thread counts"
+        );
         ExitCode::SUCCESS
     }
 }

@@ -22,3 +22,4 @@ pub mod harness;
 pub mod paper;
 pub mod profdiff;
 pub mod report;
+pub mod workload;

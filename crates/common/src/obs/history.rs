@@ -241,6 +241,13 @@ impl IoBytes {
 #[derive(Debug, Clone, Default)]
 pub struct JobHistory {
     pub name: String,
+    /// Tenant that submitted the job (empty for solo runs outside the job
+    /// server, keeping their traces and summaries byte-identical).
+    pub tenant: String,
+    /// Absolute simulated start of the job (seconds). Solo runs start at 0;
+    /// the job server sets this to the job's admission time so concurrent
+    /// jobs lay out on one shared timeline.
+    pub t0_s: f64,
     /// Stage times from the cost model (seconds).
     pub setup_s: f64,
     pub map_s: f64,
@@ -284,6 +291,12 @@ impl JobHistory {
     /// Total simulated job time (seconds).
     pub fn total_s(&self) -> f64 {
         self.setup_s + self.map_s + self.shuffle_s + self.reduce_s + self.overhead_s
+    }
+
+    /// Absolute simulated end of the job (seconds from server start; equals
+    /// `total_s` for solo runs, which start at `t0_s == 0`).
+    pub fn end_s(&self) -> f64 {
+        self.t0_s + self.total_s()
     }
 
     pub fn lanes(&self, kind: TaskKind) -> Vec<&TaskLane> {
@@ -357,6 +370,12 @@ impl JobHistory {
             self.name, self.total_s(), self.setup_s, self.map_s, self.shuffle_s,
             self.reduce_s, self.overhead_s
         ));
+        if !self.tenant.is_empty() {
+            out.push_str(&format!(
+                "  tenant {}: scheduled at t={:.1}s on the shared cluster\n",
+                self.tenant, self.t0_s
+            ));
+        }
         let maps = self.lanes(TaskKind::Map).len();
         let reduces = self.lanes(TaskKind::Reduce).len();
         out.push_str(&format!(

@@ -17,6 +17,7 @@ pub mod history;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod server;
 pub mod span;
 pub mod trace;
 pub mod wall;
@@ -26,6 +27,7 @@ pub use metrics::{HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapsho
 pub use profile::{
     profiles_json, JobProfileReport, PhaseRow, QueryProfile, StageRow, DEFAULT_DRIFT_THRESHOLD_PCT,
 };
+pub use server::{RejectedLane, ServedLane, ServerRun};
 pub use span::{us, Span, SpanId, SpanKind, SpanRecorder};
 pub use wall::WallTimer;
 
@@ -51,6 +53,7 @@ pub struct Obs {
     metrics: MetricsRegistry,
     histories: Mutex<Vec<JobHistory>>,
     profiles: Mutex<Vec<QueryProfile>>,
+    server_runs: Mutex<Vec<ServerRun>>,
     last_job: Mutex<Option<JobRef>>,
 }
 
@@ -62,6 +65,7 @@ impl Obs {
             metrics: MetricsRegistry::enabled(),
             histories: Mutex::new(Vec::new()),
             profiles: Mutex::new(Vec::new()),
+            server_runs: Mutex::new(Vec::new()),
             last_job: Mutex::new(None),
         })
     }
@@ -74,6 +78,7 @@ impl Obs {
             metrics: MetricsRegistry::disabled(),
             histories: Mutex::new(Vec::new()),
             profiles: Mutex::new(Vec::new()),
+            server_runs: Mutex::new(Vec::new()),
             last_job: Mutex::new(None),
         })
     }
@@ -96,7 +101,7 @@ impl Obs {
         if !self.enabled {
             return None;
         }
-        let total_s = h.total_s();
+        let total_s = h.end_s();
         let job_ref =
             trace::record_job(&self.spans, &h).map(|(pid, root)| JobRef { pid, root, total_s });
         self.histories.lock().push(h);
@@ -111,6 +116,18 @@ impl Obs {
     /// Run `f` over every recorded job history, in recording order.
     pub fn with_histories<R>(&self, f: impl FnOnce(&[JobHistory]) -> R) -> R {
         f(&self.histories.lock())
+    }
+
+    /// Store a finished job-server drain's per-tenant swimlane report.
+    pub fn record_server_run(&self, r: ServerRun) {
+        if self.enabled {
+            self.server_runs.lock().push(r);
+        }
+    }
+
+    /// Run `f` over every recorded server run, in recording order.
+    pub fn with_server_runs<R>(&self, f: impl FnOnce(&[ServerRun]) -> R) -> R {
+        f(&self.server_runs.lock())
     }
 
     /// Store a finished query's explain-analyze profile.
@@ -139,6 +156,11 @@ impl Obs {
     /// Per-job summaries followed by the metrics snapshot, as text.
     pub fn summary(&self) -> String {
         let mut out = String::new();
+        self.with_server_runs(|rs| {
+            for r in rs {
+                out.push_str(&r.render());
+            }
+        });
         self.with_histories(|hs| {
             for h in hs {
                 out.push_str(&h.summary());
@@ -162,6 +184,7 @@ impl Obs {
         self.metrics.reset();
         self.histories.lock().clear();
         self.profiles.lock().clear();
+        self.server_runs.lock().clear();
         *self.last_job.lock() = None;
     }
 }

@@ -35,14 +35,17 @@ pub fn record_job(rec: &SpanRecorder, h: &JobHistory) -> Option<(u32, SpanId)> {
         );
     }
 
-    let total_us = us(h.total_s());
+    // Server-scheduled jobs start at their admission time on the shared
+    // timeline; solo runs keep `t0_s == 0` and serialize exactly as before.
+    let t0_us = us(h.t0_s);
+    let total_us = us(h.end_s()).saturating_sub(t0_us);
     let root = rec.span(
         None,
         SpanKind::Job,
         &h.name,
         pid,
         0,
-        0,
+        t0_us,
         total_us,
         vec![
             ("map_tasks".into(), h.lanes(TaskKind::Map).len().to_string()),
@@ -56,12 +59,13 @@ pub fn record_job(rec: &SpanRecorder, h: &JobHistory) -> Option<(u32, SpanId)> {
             ("failed_attempts".into(), h.failed_attempts.to_string()),
         ]
         .into_iter()
+        .chain(server_args(h))
         .chain(recovery_args(h))
         .collect(),
     )?;
 
     // Stage band on the job lane: setup | map | shuffle | reduce | overhead.
-    let mut t = 0.0_f64;
+    let mut t = h.t0_s;
     let mut stage_ids: BTreeMap<TaskKind, SpanId> = BTreeMap::new();
     for (name, dur, kind) in [
         ("setup", h.setup_s, None),
@@ -145,6 +149,17 @@ pub fn record_job(rec: &SpanRecorder, h: &JobHistory) -> Option<(u32, SpanId)> {
         }
     }
     Some((pid, root))
+}
+
+/// Job-server args for the job span, emitted only for server-scheduled jobs
+/// (non-empty tenant) so solo-run traces are byte-identical to before.
+fn server_args(h: &JobHistory) -> Vec<(String, String)> {
+    let mut args = Vec::new();
+    if !h.tenant.is_empty() {
+        args.push(("tenant".into(), h.tenant.clone()));
+        args.push(("admitted_s".into(), format!("{:.3}", h.t0_s)));
+    }
+    args
 }
 
 /// Recovery-action args for the job span, emitted only when an action

@@ -121,6 +121,22 @@ impl Clydesdale {
         &self.engine
     }
 
+    pub(crate) fn layout(&self) -> &SsbLayout {
+        &self.layout
+    }
+
+    pub(crate) fn host_threads(&self) -> Option<u32> {
+        self.host_threads
+    }
+
+    /// Open a multi-tenant query server over this engine: submissions are
+    /// admission-controlled against `cfg`, and each drain schedules every
+    /// admitted query's tasks on the shared cluster under `cfg.policy` —
+    /// in deterministic simulated time, with solo-identical results.
+    pub fn serve(&self, cfg: clyde_mapred::ServerConfig) -> crate::server::QueryServer<'_> {
+        crate::server::QueryServer::new(self, cfg)
+    }
+
     /// Copy every dimension table's master copy from the DFS onto every
     /// node's local disk (paper Figure 2). Queries repair missing copies on
     /// demand, so this is an optimization, not a requirement.

@@ -49,8 +49,10 @@ pub mod hashtable;
 pub mod mtrunner;
 pub mod planner;
 pub mod probe;
+pub mod server;
 
 pub use config::Features;
 pub use engine::{Clydesdale, QueryResult};
 pub use hashtable::{DimHashTable, DimTables};
 pub use probe::KernelOpts;
+pub use server::{QueryServer, ServedQuery};

@@ -31,7 +31,11 @@
 //!   `scheduler.*`, `probe.*`). Literal names keep the metric surface
 //!   greppable and snapshot-diffable; the namespace registry keeps tools
 //!   like `clyde-profdiff` and the CI metric goldens from silently missing
-//!   a renamed counter.
+//!   a renamed counter. The `scheduler.*` namespace is additionally
+//!   *closed*: the job server's queue/tenant series are a CI gate surface
+//!   (`workload-gate` reads them), so a literal `scheduler.` name must be
+//!   one of [`D005_SCHEDULER_METRICS`] — a new series is registered there
+//!   first, then emitted.
 //!
 //! Violations are suppressed by a pragma on the offending line or the line
 //! directly above:
@@ -145,6 +149,15 @@ pub const D004_AUDITED: &[&str] = &[
     "crates/dfs/src/local.rs",
     "crates/dfs/src/dfs.rs",
     "crates/dfs/src/metrics.rs",
+    // NOT listed, deliberately: the multi-job server and slot scheduler
+    // (`crates/mapred/src/server.rs`, `crates/mapred/src/scheduler.rs`,
+    // `crates/core/src/server.rs`). Audited 2026-08: the server executes
+    // admitted jobs *sequentially* through the audited engine and derives
+    // the concurrent timeline in a pure discrete-event simulation, so the
+    // whole layer is lock-free by design — concurrency lives only in data
+    // (SimJob/Placement), never in threads. Keeping these files off the
+    // allowlist means D004 fires the moment anyone reintroduces real
+    // threading there (see `d004_job_server_layer_stays_lock_free`).
 ];
 
 /// A parsed `allow(rule, reason=...)` suppression pragma.
@@ -682,6 +695,23 @@ pub const D005_NAMESPACES: [&str; 4] = ["mapred.", "dfs.", "scheduler.", "probe.
 /// emitters and unit-tests them with throwaway names).
 pub const D005_ALLOWED: &[&str] = &["crates/common/src/obs/metrics.rs"];
 
+/// The closed set of `scheduler.*` series. These are a CI gate surface —
+/// the `workload-gate` job and the server swimlane tests assert on them by
+/// name — so unlike the open namespaces, a `scheduler.` literal must match
+/// this registry exactly. Emitting a new scheduler series means adding it
+/// here (and to the goldens that read it) in the same change.
+pub const D005_SCHEDULER_METRICS: [&str; 9] = [
+    "scheduler.split_locality",
+    "scheduler.jobs_admitted",
+    "scheduler.jobs_rejected_queue_full",
+    "scheduler.jobs_rejected_quota",
+    "scheduler.queue_peak_depth",
+    "scheduler.tenant_count",
+    "scheduler.makespan_s",
+    "scheduler.queue_wait_s",
+    "scheduler.job_latency_s",
+];
+
 /// How many lines below an emitter call D005 searches for the name literal
 /// (multi-line call sites put the name on the following line).
 const D005_WINDOW: usize = 2;
@@ -744,6 +774,18 @@ fn d005_scan(file: &Path, masked: &str, raw: &str, violations: &mut Vec<Violatio
                         "metric name `{n}` outside the registered namespaces \
                          (mapred.* | dfs.* | scheduler.* | probe.*) — register the \
                          namespace in clyde_lint::D005_NAMESPACES or fix the name"
+                    ),
+                });
+            }
+            Some(n) if n.starts_with("scheduler.") && !D005_SCHEDULER_METRICS.contains(&n) => {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::MetricName,
+                    message: format!(
+                        "unregistered scheduler series `{n}` — the scheduler.* namespace \
+                         is closed (the CI workload-gate reads it by name); add the \
+                         series to clyde_lint::D005_SCHEDULER_METRICS first"
                     ),
                 });
             }
@@ -915,6 +957,45 @@ mod tests {
         assert!(scan(src).is_empty());
         let call = "fn f(m: &Metrics) { m.counter_add(\"x\", 1); }\n";
         assert!(scan_source(Path::new("crates/common/src/obs/metrics.rs"), call).is_empty());
+    }
+
+    #[test]
+    fn d004_job_server_layer_stays_lock_free() {
+        // The audit entry for the multi-job server: these files are kept
+        // OFF the D004 allowlist, so this test (and the workspace scan)
+        // fails the moment real threading appears in the scheduling layer.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for rel in [
+            "crates/mapred/src/server.rs",
+            "crates/mapred/src/scheduler.rs",
+            "crates/core/src/server.rs",
+        ] {
+            assert!(
+                !rel_allowed(Path::new(rel), D004_AUDITED),
+                "{rel} must not be on the D004 allowlist"
+            );
+            let src = std::fs::read_to_string(root.join(rel)).expect(rel);
+            let concurrency: Vec<_> = scan_source(Path::new(rel), &src)
+                .into_iter()
+                .filter(|v| v.rule == Rule::Concurrency)
+                .collect();
+            assert!(
+                concurrency.is_empty(),
+                "{rel} grew concurrency primitives: {concurrency:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn d005_flags_unregistered_scheduler_series() {
+        let src = "fn f(m: &Metrics) {\n    m.counter_add(\"scheduler.queue_drops\", 1);\n}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::MetricName]);
+    }
+
+    #[test]
+    fn d005_accepts_registered_scheduler_series() {
+        let src = "fn f(m: &Metrics) {\n    m.counter_add(\"scheduler.jobs_admitted\", 1);\n    m.gauge_set(\"scheduler.queue_peak_depth\", 3.0);\n    m.histogram_record(\"scheduler.queue_wait_s\", 0.5);\n    m.histogram_record(\"scheduler.job_latency_s\", 1.5);\n}\n";
+        assert!(scan(src).is_empty());
     }
 
     #[test]

@@ -69,12 +69,13 @@ fn usage() -> ExitCode {
 /// linting itself: if a rule regresses into silence, CI fails here.
 fn run_self_test(root: &Path) -> ExitCode {
     let fixtures = root.join("crates/lint/fixtures");
-    let cases: [(&str, Option<Rule>); 6] = [
+    let cases: [(&str, Option<Rule>); 7] = [
         ("d001_unordered.rs", Some(Rule::Unordered)),
         ("d002_wallclock.rs", Some(Rule::WallClock)),
         ("d003_entropy.rs", Some(Rule::Entropy)),
         ("d004_concurrency.rs", Some(Rule::Concurrency)),
         ("d005_metricname.rs", Some(Rule::MetricName)),
+        ("d005_scheduler_registry.rs", Some(Rule::MetricName)),
         ("clean.rs", None),
     ];
     let mut failed = false;

@@ -28,7 +28,7 @@ use crate::task::{
 use clyde_common::lockorder::Mutex;
 use clyde_common::obs::{Obs, Phase, TaskKind, WallTimer};
 use clyde_common::{keycodec, rowcodec, ClydeError, Result, Row};
-use clyde_dfs::{ClusterSpec, Dfs, NodeId, NodeLocalStore};
+use clyde_dfs::{ClusterSpec, Dfs, IoSnapshot, NodeId, NodeLocalStore};
 use std::sync::Arc;
 
 /// A node is blacklisted for further retries once this many of its attempts
@@ -306,6 +306,23 @@ impl Engine {
 
     /// Run a job, making `client.cache` available to every task.
     pub fn run_job_with(&self, spec: &JobSpec, client: ClientArtifacts) -> Result<JobResult> {
+        self.run_job_inner(spec, client, true).map(|(r, _)| r)
+    }
+
+    /// Run a job without recording it into the observability hub. Returns
+    /// the result plus the job's scoped DFS I/O delta (when obs is enabled)
+    /// so a caller — the job server — can publish a *scheduled* history for
+    /// it later, on the shared multi-job timeline, without double-counting.
+    pub fn run_job_quiet(&self, spec: &JobSpec) -> Result<(JobResult, Option<IoSnapshot>)> {
+        self.run_job_inner(spec, ClientArtifacts::default(), false)
+    }
+
+    fn run_job_inner(
+        &self,
+        spec: &JobSpec,
+        client: ClientArtifacts,
+        publish: bool,
+    ) -> Result<(JobResult, Option<IoSnapshot>)> {
         let io_scope = if self.obs.is_enabled() {
             Some(self.dfs.io_scope())
         } else {
@@ -763,122 +780,129 @@ impl Engine {
             },
         };
         let cost = profile.price(&self.params, &cluster)?;
-        if self.obs.is_enabled() {
-            self.publish_job(&profile, &cost, &cluster, io_scope.as_ref());
+        let io = io_scope.as_ref().map(|s| s.delta());
+        if publish && self.obs.is_enabled() {
+            let hist = history::job_history(&profile, &cost, &self.params, &cluster);
+            publish_history(&self.obs, &profile, hist, io.as_ref());
         }
-        Ok(JobResult {
-            rows,
-            output_files,
-            profile,
-            cost,
-            locality,
-        })
+        Ok((
+            JobResult {
+                rows,
+                output_files,
+                profile,
+                cost,
+                locality,
+            },
+            io,
+        ))
+    }
+}
+
+/// Record a finished job into the observability hub: history + spans plus
+/// the unified metrics (engine counters, scheduler locality, DFS I/O
+/// attributed to this job via the scoped snapshot). Shared between the
+/// engine's solo publish path and the job server's scheduled publish path,
+/// so a served job emits exactly the metric set a solo run would.
+pub(crate) fn publish_history(
+    obs: &Obs,
+    profile: &JobProfile,
+    mut hist: clyde_common::obs::JobHistory,
+    io: Option<&IoSnapshot>,
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let m = obs.metrics();
+    m.counter_add("mapred.jobs", 1);
+    m.counter_add("mapred.map_tasks", profile.map_tasks.len() as u64);
+    m.counter_add("mapred.reduce_tasks", profile.reduce_tasks.len() as u64);
+    m.counter_add("mapred.failed_attempts", u64::from(profile.failed_attempts));
+    m.counter_add("mapred.shuffle.bytes", profile.shuffle_bytes);
+    // Recovery counters are emitted only when the corresponding action
+    // fired, so clean runs keep their metric set (and traces) unchanged.
+    if profile.speculative_attempts > 0 {
+        m.counter_add(
+            "mapred.speculative_launched",
+            u64::from(profile.speculative_attempts),
+        );
+    }
+    if profile.speculative_wins > 0 {
+        m.counter_add(
+            "mapred.speculative_wins",
+            u64::from(profile.speculative_wins),
+        );
+    }
+    if !profile.blacklisted_nodes.is_empty() {
+        m.counter_add(
+            "mapred.blacklisted_nodes",
+            profile.blacklisted_nodes.len() as u64,
+        );
+    }
+    if !profile.dead_nodes.is_empty() {
+        m.counter_add(
+            "mapred.heartbeat.lost_nodes",
+            profile.dead_nodes.len() as u64,
+        );
+    }
+    if profile.rereplicated_blocks > 0 {
+        m.counter_add("dfs.rereplicated_blocks", profile.rereplicated_blocks);
     }
 
-    /// Record the finished job into the observability hub: history + spans
-    /// plus the unified metrics (engine counters, scheduler locality, DFS
-    /// I/O attributed to this job via the scoped snapshot).
-    fn publish_job(
-        &self,
-        profile: &JobProfile,
-        cost: &crate::cost::JobCost,
-        cluster: &clyde_dfs::ClusterSpec,
-        io_scope: Option<&clyde_dfs::IoScope<'_>>,
-    ) {
-        let mut hist = history::job_history(profile, cost, &self.params, cluster);
-        let m = self.obs.metrics();
-        m.counter_add("mapred.jobs", 1);
-        m.counter_add("mapred.map_tasks", profile.map_tasks.len() as u64);
-        m.counter_add("mapred.reduce_tasks", profile.reduce_tasks.len() as u64);
-        m.counter_add("mapred.failed_attempts", u64::from(profile.failed_attempts));
-        m.counter_add("mapred.shuffle.bytes", profile.shuffle_bytes);
-        // Recovery counters are emitted only when the corresponding action
-        // fired, so clean runs keep their metric set (and traces) unchanged.
-        if profile.speculative_attempts > 0 {
-            m.counter_add(
-                "mapred.speculative_launched",
-                u64::from(profile.speculative_attempts),
-            );
-        }
-        if profile.speculative_wins > 0 {
-            m.counter_add(
-                "mapred.speculative_wins",
-                u64::from(profile.speculative_wins),
-            );
-        }
-        if !profile.blacklisted_nodes.is_empty() {
-            m.counter_add(
-                "mapred.blacklisted_nodes",
-                profile.blacklisted_nodes.len() as u64,
-            );
-        }
-        if !profile.dead_nodes.is_empty() {
-            m.counter_add(
-                "mapred.heartbeat.lost_nodes",
-                profile.dead_nodes.len() as u64,
-            );
-        }
-        if profile.rereplicated_blocks > 0 {
-            m.counter_add("dfs.rereplicated_blocks", profile.rereplicated_blocks);
-        }
-
-        let total_map = profile.total_map_cost();
-        let total_reduce = profile.total_reduce_cost();
-        m.counter_add("mapred.emit.records", total_map.emit_records);
-        m.counter_add("mapred.emit.bytes", total_map.emit_bytes);
-        m.counter_add(
-            "mapred.combine.input_records",
-            total_map.combine_input_records,
-        );
-        m.counter_add(
-            "mapred.combine.output_records",
-            total_map.combine_output_records,
-        );
-        m.counter_add("mapred.shuffle.merged_runs", total_reduce.merge_runs);
-        m.counter_add("dfs.scan.local_bytes", total_map.local_bytes);
-        m.counter_add("dfs.scan.remote_bytes", total_map.remote_bytes);
-        m.counter_add("dfs.zone.checked", total_map.zone_checked);
-        m.counter_add("dfs.zone.skipped", total_map.zone_skipped);
-        // Like the recovery counters: only emitted when the prefetch layer
-        // actually fired, so small-SF metric sets stay unchanged.
-        if total_map.prefetch_activations > 0 {
-            m.counter_add("probe.prefetch_activations", total_map.prefetch_activations);
-        }
-        if let Some(scope) = io_scope {
-            let delta = scope.delta();
-            m.counter_add("dfs.io.local_read_bytes", delta.total_local_read());
-            m.counter_add("dfs.io.remote_read_bytes", delta.total_remote_read());
-            m.counter_add("dfs.io.written_bytes", delta.total_written());
-            if delta.total_corrupt_reads() > 0 {
-                m.counter_add("dfs.corrupt_reads_detected", delta.total_corrupt_reads());
-            }
-            // Mirror the scoped snapshot into the history so query profiles
-            // can report per-node I/O next to phase costs.
-            hist.io = delta
-                .per_node
-                .iter()
-                .map(|n| clyde_common::obs::IoBytes {
-                    node: n.node,
-                    local_read: n.local_read,
-                    remote_read: n.remote_read,
-                    written: n.written,
-                })
-                .collect();
-            hist.corrupt_reads = delta.total_corrupt_reads();
-        }
-        m.gauge_set("scheduler.split_locality", profile.split_locality);
-        m.gauge_set("mapred.scan_locality", hist.locality);
-        for t in &hist.tasks {
-            // Literal names per arm so the metric registry stays greppable
-            // (and lintable) as string constants.
-            match t.kind {
-                TaskKind::Map => m.histogram_record("mapred.map_task_sim_s", t.dur_s),
-                TaskKind::Reduce => m.histogram_record("mapred.reduce_task_sim_s", t.dur_s),
-            }
-            m.histogram_record("mapred.task_wall_ms", t.wall_ns as f64 / 1e6);
-        }
-        self.obs.record_job(hist);
+    let total_map = profile.total_map_cost();
+    let total_reduce = profile.total_reduce_cost();
+    m.counter_add("mapred.emit.records", total_map.emit_records);
+    m.counter_add("mapred.emit.bytes", total_map.emit_bytes);
+    m.counter_add(
+        "mapred.combine.input_records",
+        total_map.combine_input_records,
+    );
+    m.counter_add(
+        "mapred.combine.output_records",
+        total_map.combine_output_records,
+    );
+    m.counter_add("mapred.shuffle.merged_runs", total_reduce.merge_runs);
+    m.counter_add("dfs.scan.local_bytes", total_map.local_bytes);
+    m.counter_add("dfs.scan.remote_bytes", total_map.remote_bytes);
+    m.counter_add("dfs.zone.checked", total_map.zone_checked);
+    m.counter_add("dfs.zone.skipped", total_map.zone_skipped);
+    // Like the recovery counters: only emitted when the prefetch layer
+    // actually fired, so small-SF metric sets stay unchanged.
+    if total_map.prefetch_activations > 0 {
+        m.counter_add("probe.prefetch_activations", total_map.prefetch_activations);
     }
+    if let Some(delta) = io {
+        m.counter_add("dfs.io.local_read_bytes", delta.total_local_read());
+        m.counter_add("dfs.io.remote_read_bytes", delta.total_remote_read());
+        m.counter_add("dfs.io.written_bytes", delta.total_written());
+        if delta.total_corrupt_reads() > 0 {
+            m.counter_add("dfs.corrupt_reads_detected", delta.total_corrupt_reads());
+        }
+        // Mirror the scoped snapshot into the history so query profiles
+        // can report per-node I/O next to phase costs.
+        hist.io = delta
+            .per_node
+            .iter()
+            .map(|n| clyde_common::obs::IoBytes {
+                node: n.node,
+                local_read: n.local_read,
+                remote_read: n.remote_read,
+                written: n.written,
+            })
+            .collect();
+        hist.corrupt_reads = delta.total_corrupt_reads();
+    }
+    m.gauge_set("scheduler.split_locality", profile.split_locality);
+    m.gauge_set("mapred.scan_locality", hist.locality);
+    for t in &hist.tasks {
+        // Literal names per arm so the metric registry stays greppable
+        // (and lintable) as string constants.
+        match t.kind {
+            TaskKind::Map => m.histogram_record("mapred.map_task_sim_s", t.dur_s),
+            TaskKind::Reduce => m.histogram_record("mapred.reduce_task_sim_s", t.dur_s),
+        }
+        m.histogram_record("mapred.task_wall_ms", t.wall_ns as f64 / 1e6);
+    }
+    obs.record_job(hist);
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::cost::{CostParams, JobCost};
 use crate::job::JobProfile;
+use crate::scheduler::JobSchedule;
 use clyde_common::obs::{JobHistory, PhaseSlice, TaskKind, TaskLane};
 use clyde_dfs::ClusterSpec;
 
@@ -145,6 +146,8 @@ pub fn job_history(
     let scanned = total_map.local_bytes + total_map.remote_bytes;
     JobHistory {
         name: profile.name.clone(),
+        tenant: String::new(),
+        t0_s: 0.0,
         setup_s: cost.setup_s,
         map_s: cost.map_s,
         shuffle_s: cost.shuffle_s,
@@ -170,6 +173,102 @@ pub fn job_history(
         wall_phases: profile.wall_phases.clone(),
         // Per-job I/O is attributed by the engine after pricing (it owns the
         // DFS scope); histories start with an empty snapshot.
+        io: Vec::new(),
+        corrupt_reads: 0,
+        tasks,
+    }
+}
+
+/// Assemble a job history from a *multi-job schedule*: task lanes are taken
+/// verbatim from the slot simulator's placements (absolute shared-timeline
+/// times), and the stage bands are re-derived so they tile the scheduled
+/// span exactly — the "map" band absorbs any queueing between slot grants,
+/// so `t0_s + total_s()` always equals the scheduled finish.
+///
+/// Served jobs never carry fault plans, so killed speculative attempts are
+/// not laid out here (the solo path's [`job_history`] handles those).
+pub fn job_history_scheduled(
+    profile: &JobProfile,
+    cost: &JobCost,
+    params: &CostParams,
+    cluster: &ClusterSpec,
+    tenant: &str,
+    arrival_s: f64,
+    sched: &JobSchedule,
+) -> JobHistory {
+    let concurrency = profile.map_concurrency.max(1);
+    let mut tasks: Vec<TaskLane> =
+        Vec::with_capacity(profile.map_tasks.len() + profile.reduce_tasks.len());
+    for p in &sched.map {
+        let t = &profile.map_tasks[p.task];
+        tasks.push(TaskLane {
+            index: p.task,
+            kind: TaskKind::Map,
+            node: p.node,
+            slot: p.slot,
+            start_s: p.start_s,
+            dur_s: p.dur_s,
+            local_bytes: t.cost.local_bytes,
+            remote_bytes: t.cost.remote_bytes,
+            emit_records: t.cost.emit_records,
+            emit_bytes: t.cost.emit_bytes,
+            wall_ns: t.wall_ns,
+            speculative: t.speculative,
+            phases: shift(
+                params.map_task_phases(cluster, &t.cost, concurrency),
+                p.start_s,
+            ),
+        });
+    }
+    for p in &sched.reduce {
+        let t = &profile.reduce_tasks[p.task];
+        tasks.push(TaskLane {
+            index: p.task,
+            kind: TaskKind::Reduce,
+            node: p.node,
+            slot: p.slot,
+            start_s: p.start_s,
+            dur_s: p.dur_s,
+            local_bytes: t.cost.local_bytes,
+            remote_bytes: t.cost.remote_bytes,
+            emit_records: t.cost.emit_records,
+            emit_bytes: t.cost.emit_bytes,
+            wall_ns: t.wall_ns,
+            speculative: false,
+            phases: shift(params.reduce_task_phases(cluster, &t.cost), p.start_s),
+        });
+    }
+
+    let total_map = profile.total_map_cost();
+    let total_reduce = profile.total_reduce_cost();
+    let scanned = total_map.local_bytes + total_map.remote_bytes;
+    JobHistory {
+        name: profile.name.clone(),
+        tenant: tenant.to_string(),
+        t0_s: arrival_s,
+        setup_s: cost.setup_s,
+        map_s: (sched.map_end_s - arrival_s - cost.setup_s).max(0.0),
+        shuffle_s: cost.shuffle_s,
+        reduce_s: (sched.reduce_end_s - sched.map_end_s - cost.shuffle_s).max(0.0),
+        overhead_s: cost.overhead_s,
+        map_concurrency: concurrency,
+        shuffle_bytes: profile.shuffle_bytes,
+        merge_runs: total_reduce.merge_runs,
+        combine_input_records: total_map.combine_input_records,
+        combine_output_records: total_map.combine_output_records,
+        locality: if scanned == 0 {
+            1.0
+        } else {
+            total_map.local_bytes as f64 / scanned as f64
+        },
+        split_locality: profile.split_locality,
+        failed_attempts: profile.failed_attempts,
+        speculative_attempts: profile.speculative_attempts,
+        speculative_wins: profile.speculative_wins,
+        blacklisted_nodes: profile.blacklisted_nodes.len() as u32,
+        dead_nodes: profile.dead_nodes.len() as u32,
+        rereplicated_blocks: profile.rereplicated_blocks,
+        wall_phases: profile.wall_phases.clone(),
         io: Vec::new(),
         corrupt_reads: 0,
         tasks,

@@ -35,6 +35,7 @@ pub mod input;
 pub mod job;
 pub mod runner;
 pub mod scheduler;
+pub mod server;
 pub mod shuffle;
 pub mod task;
 
@@ -50,5 +51,7 @@ pub use job::{
     TaskProfile,
 };
 pub use runner::{FnMapRunner, MapRunner, RowMapRunner};
+pub use scheduler::SchedPolicy;
+pub use server::{JobServer, RejectReason, ServedJob, ServerConfig};
 pub use shuffle::Reducer;
 pub use task::{Collector, MapTaskContext, NodeState, TaskIo};

@@ -1,0 +1,241 @@
+//! Job-server end-to-end: admission control is deterministic, quotas hold,
+//! served queries answer bit-for-bit like solo runs, and the multi-job
+//! schedule is byte-identical across reruns and host thread counts.
+
+use clyde_common::Obs;
+use clyde_dfs::{ClusterSpec, ColocatingPlacement, Dfs, DfsOptions};
+use clyde_mapred::{RejectReason, SchedPolicy, ServerConfig};
+use clyde_ssb::gen::SsbGen;
+use clyde_ssb::loader::{self, SsbLayout};
+use clyde_ssb::query_by_id;
+use clydesdale::Clydesdale;
+use std::sync::Arc;
+
+fn cluster(n: usize) -> Arc<Dfs> {
+    Dfs::new(
+        ClusterSpec::tiny(n),
+        DfsOptions {
+            block_size: 1 << 20,
+            replication: 2,
+            policy: Box::new(ColocatingPlacement),
+        },
+    )
+}
+
+fn load(dfs: &Arc<Dfs>, sf: f64) -> SsbLayout {
+    let layout = SsbLayout::default();
+    loader::load(
+        dfs,
+        SsbGen::new(sf, 46),
+        &layout,
+        &loader::LoadOpts {
+            rows_per_group: 2_000,
+            cif: true,
+            rcfile: false,
+            text: false,
+            cluster_by_date: true,
+        },
+    )
+    .unwrap();
+    layout
+}
+
+fn config(policy: SchedPolicy, queue_capacity: usize, tenant_quota: usize) -> ServerConfig {
+    ServerConfig {
+        policy,
+        queue_capacity,
+        tenant_quota,
+        weights: Vec::new(),
+    }
+}
+
+#[test]
+fn bounded_queue_rejects_overload_deterministically() {
+    let dfs = cluster(3);
+    let layout = load(&dfs, 0.005);
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+    clyde.warm_dimension_cache().unwrap();
+    let q = query_by_id("Q1.1").unwrap();
+
+    let run = || {
+        let mut srv = clyde.serve(config(SchedPolicy::Fair, 3, 0));
+        let mut outcomes = Vec::new();
+        for i in 0..5 {
+            outcomes.push(srv.submit("etl", i as f64, &q).unwrap());
+        }
+        let served = srv.drain().unwrap();
+        (outcomes, served.len())
+    };
+
+    let (outcomes, served) = run();
+    assert_eq!(served, 3);
+    assert!(outcomes[..3].iter().all(|o| o.is_ok()));
+    for o in &outcomes[3..] {
+        assert_eq!(
+            o.clone().unwrap_err(),
+            RejectReason::QueueFull { capacity: 3 }
+        );
+    }
+    // Overload handling depends only on the submission stream.
+    let (outcomes2, served2) = run();
+    assert_eq!(outcomes, outcomes2);
+    assert_eq!(served, served2);
+
+    // The window clears on drain: the same tenant is admitted again.
+    let mut srv = clyde.serve(config(SchedPolicy::Fair, 3, 0));
+    for i in 0..5 {
+        let _ = srv.submit("etl", i as f64, &q).unwrap();
+    }
+    srv.drain().unwrap();
+    assert!(srv.submit("etl", 10.0, &q).unwrap().is_ok());
+}
+
+#[test]
+fn per_tenant_quota_is_enforced() {
+    let dfs = cluster(3);
+    let layout = load(&dfs, 0.005);
+    let obs = Obs::enabled();
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout).with_obs(Arc::clone(&obs));
+    clyde.warm_dimension_cache().unwrap();
+    let q = query_by_id("Q1.2").unwrap();
+
+    let mut srv = clyde.serve(config(SchedPolicy::Fair, 16, 2));
+    assert!(srv.submit("etl", 0.0, &q).unwrap().is_ok());
+    assert!(srv.submit("etl", 0.5, &q).unwrap().is_ok());
+    assert_eq!(
+        srv.submit("etl", 1.0, &q).unwrap().unwrap_err(),
+        RejectReason::TenantQuota { quota: 2 }
+    );
+    // Another tenant is unaffected by etl's quota.
+    assert!(srv.submit("dash", 1.5, &q).unwrap().is_ok());
+    let served = srv.drain().unwrap();
+    let tenants: Vec<&str> = served.iter().map(|s| s.tenant.as_str()).collect();
+    assert_eq!(tenants, vec!["etl", "etl", "dash"]);
+    // The rejection shows up in the drain's swimlane report.
+    obs.with_server_runs(|rs| {
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].rejected.len(), 1);
+        assert_eq!(rs[0].rejected[0].tenant, "etl");
+        assert!(rs[0].rejected[0].reason.contains("quota"));
+    });
+    let summary = obs.summary();
+    assert!(summary.contains("REJECTED"));
+    assert!(summary.contains("scheduler.jobs_admitted = 3"));
+    assert!(summary.contains("scheduler.jobs_rejected_quota = 1"));
+}
+
+#[test]
+fn served_queries_answer_bit_for_bit_like_solo_runs() {
+    let dfs = cluster(3);
+    let layout = load(&dfs, 0.005);
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+    clyde.warm_dimension_cache().unwrap();
+    let ids = ["Q1.1", "Q2.1", "Q3.1", "Q4.1"];
+    let solo: Vec<_> = ids
+        .iter()
+        .map(|id| clyde.query(&query_by_id(id).unwrap()).unwrap().rows)
+        .collect();
+
+    for policy in SchedPolicy::all() {
+        let mut srv = clyde.serve(config(policy, 16, 0));
+        for (i, id) in ids.iter().enumerate() {
+            let tenant = if i % 2 == 0 { "etl" } else { "dash" };
+            assert!(srv
+                .submit(tenant, 0.5 * i as f64, &query_by_id(id).unwrap())
+                .unwrap()
+                .is_ok());
+        }
+        let served = srv.drain().unwrap();
+        assert_eq!(served.len(), ids.len());
+        for (i, s) in served.iter().enumerate() {
+            assert_eq!(s.query_id, ids[i]);
+            assert_eq!(
+                s.rows, solo[i],
+                "{} under {:?} must answer exactly like its solo run",
+                ids[i], policy
+            );
+            assert!(s.arrival_s <= s.start_s && s.start_s < s.finish_s);
+            assert!(s.final_sort_s > 0.0);
+        }
+    }
+}
+
+fn traced_workload(host_threads: u32) -> (Vec<Vec<clyde_common::Row>>, String, String) {
+    let dfs = cluster(3);
+    let layout = load(&dfs, 0.005);
+    let obs = Obs::enabled();
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout)
+        .with_obs(Arc::clone(&obs))
+        .with_host_threads(host_threads);
+    clyde.warm_dimension_cache().unwrap();
+    let mut srv = clyde.serve(config(SchedPolicy::Fair, 16, 0));
+    for (i, id) in ["Q2.1", "Q1.1", "Q3.2", "Q1.3"].iter().enumerate() {
+        let tenant = ["etl", "dash"][i % 2];
+        assert!(srv
+            .submit(tenant, 0.3 * i as f64, &query_by_id(id).unwrap())
+            .unwrap()
+            .is_ok());
+    }
+    let served = srv.drain().unwrap();
+    let rows = served.into_iter().map(|s| s.rows).collect();
+    (rows, obs.chrome_trace(), obs.summary())
+}
+
+#[test]
+fn served_schedule_is_byte_identical_across_host_thread_counts() {
+    let (rows_1, trace_1, summary_1) = traced_workload(1);
+    let (rows_8, trace_8, summary_8) = traced_workload(8);
+    assert_eq!(rows_1, rows_8);
+    assert_eq!(
+        trace_1, trace_8,
+        "multi-job trace must not depend on host threads"
+    );
+    // Summaries mix in measured wall clock (by design); the simulated
+    // timeline — including the server swimlanes — must be stable.
+    let sim_lines = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| !l.contains("wall"))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(sim_lines(&summary_1), sim_lines(&summary_8));
+    assert!(summary_1.contains("server run: policy fair"));
+    // And a straight rerun is byte-identical too.
+    let (_, trace_again, _) = traced_workload(1);
+    assert_eq!(trace_1, trace_again);
+}
+
+#[test]
+fn fair_scheduling_beats_fifo_for_the_starved_tenant() {
+    let dfs = cluster(3);
+    let layout = load(&dfs, 0.005);
+    let clyde = Clydesdale::new(Arc::clone(&dfs), layout);
+    clyde.warm_dimension_cache().unwrap();
+    let big = query_by_id("Q2.1").unwrap();
+    let small = query_by_id("Q1.1").unwrap();
+
+    let adhoc_latency = |policy: SchedPolicy| -> f64 {
+        let mut srv = clyde.serve(config(policy, 16, 0));
+        // A queue-saturating burst of batch queries, then one interactive
+        // query mid-burst. (The burst must be deep enough that FIFO's queue
+        // wait dominates the small job's runtime — with only a few queued
+        // jobs, FIFO's natural pipelining is already near-optimal.)
+        for i in 0..10 {
+            assert!(srv.submit("etl", 0.1 * i as f64, &big).unwrap().is_ok());
+        }
+        assert!(srv.submit("adhoc", 2.0, &small).unwrap().is_ok());
+        let served = srv.drain().unwrap();
+        served
+            .iter()
+            .find(|s| s.tenant == "adhoc")
+            .expect("adhoc was admitted")
+            .latency_s()
+    };
+
+    let fifo = adhoc_latency(SchedPolicy::Fifo);
+    let fair = adhoc_latency(SchedPolicy::Fair);
+    assert!(
+        fair < fifo,
+        "fair must improve the starved tenant's latency: fair {fair:.1}s !< fifo {fifo:.1}s"
+    );
+}

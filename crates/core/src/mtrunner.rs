@@ -373,6 +373,7 @@ impl MapRunner for MtMapRunner {
             // clyde-lint: allow(unordered, reason=algebraic fold into a map is commutative; emit sorts)
             for (k, v) in r.acc {
                 let slot = acc.entry(k).or_insert_with(|| agg.identity());
+                // clyde-lint: allow(floatorder, reason=fixed-merge-order: i64-exact fold, results pre-sorted by first morsel)
                 *slot = agg.fold(*slot, v);
             }
             if let (Some(va), Some(global)) = (r.vacc, vacc.as_mut()) {
@@ -383,6 +384,7 @@ impl MapRunner for MtMapRunner {
             for (key, v) in vacc.entries() {
                 let row = l.rematerialize(key, &tables);
                 let slot = acc.entry(row).or_insert_with(|| agg.identity());
+                // clyde-lint: allow(floatorder, reason=fixed-merge-order: i64-exact fold over layout-ordered group keys)
                 *slot = agg.fold(*slot, v);
             }
         }

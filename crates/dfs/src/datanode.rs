@@ -52,11 +52,11 @@ impl Datanode {
         let Some(data) = self.blocks.get(&id) else {
             return false;
         };
-        if data.is_empty() {
-            return false;
-        }
         let mut bad = data.to_vec();
-        bad[0] ^= 0xff;
+        let Some(first) = bad.first_mut() else {
+            return false; // empty replica: nothing to flip
+        };
+        *first ^= 0xff;
         self.blocks.insert(id, Bytes::from(bad));
         true
     }

@@ -533,35 +533,47 @@ impl Dfs {
                 .iter()
                 .copied()
                 .filter(|r| {
-                    state.datanodes[r.0]
-                        .get(id)
+                    state
+                        .datanodes
+                        .get(r.0)
+                        .and_then(|dn| dn.get(id))
                         .is_some_and(|d| block_checksum(&d) == checksum)
                 })
                 .collect();
-            if live_replicas.is_empty() {
+            let Some(&source) = live_replicas.first() else {
                 continue; // data lost; read_file will surface the error
-            }
+            };
             // Scrub: drop replicas that exist but fail verification.
             for &r in &replicas {
-                if state.datanodes[r.0].has(id) && !live_replicas.contains(&r) {
-                    state.datanodes[r.0].free(id);
+                if live_replicas.contains(&r) {
+                    continue;
+                }
+                if let Some(dn) = state.datanodes.get_mut(r.0) {
+                    if dn.has(id) {
+                        dn.free(id);
+                    }
                 }
             }
             let want = (self.replication as usize).min(alive.len());
             let mut new_replicas = live_replicas.clone();
-            let source = live_replicas[0];
             let mut cursor = 0usize;
             while new_replicas.len() < want && cursor < n {
                 let cand = NodeId((source.0 + cursor) % n);
                 cursor += 1;
-                if !state.datanodes[cand.0].is_alive() || new_replicas.contains(&cand) {
+                let cand_alive = state.datanodes.get(cand.0).is_some_and(Datanode::is_alive);
+                if !cand_alive || new_replicas.contains(&cand) {
                     continue;
                 }
-                let data = state.datanodes[source.0]
-                    .get(id)
+                let data = state
+                    .datanodes
+                    .get(source.0)
+                    .and_then(|dn| dn.get(id))
                     .ok_or_else(|| ClydeError::Dfs("replica vanished".into()))?;
                 self.metrics.record_write(cand, data.len() as u64);
-                state.datanodes[cand.0].store(id, data);
+                let Some(dest) = state.datanodes.get_mut(cand.0) else {
+                    continue; // cand is in-range by construction; stay total
+                };
+                dest.store(id, data);
                 new_replicas.push(cand);
                 created += 1;
             }

@@ -1,0 +1,28 @@
+//! D009 fixture: two functions acquire the same two lock classes in
+//! opposite orders — a deadlock the runtime checker only sees when a
+//! schedule interleaves them, but the static graph sees always. The
+//! self-test scans this file *as* `crates/mapred/src/task.rs` (D004-audited,
+//! so the `Mutex` declarations themselves are in bounds). NOT compiled.
+
+use std::sync::Mutex;
+
+pub struct Queues {
+    intake: Mutex<Vec<u64>>,
+    commit: Mutex<Vec<u64>>,
+}
+
+impl Queues {
+    /// Acquires `intake` then `commit`.
+    pub fn forward(&self) {
+        let from = self.intake.lock().unwrap();
+        let mut to = self.commit.lock().unwrap();
+        to.extend(from.iter().copied());
+    }
+
+    /// Acquires `commit` then `intake` — the inversion.
+    pub fn reclaim(&self) {
+        let from = self.commit.lock().unwrap();
+        let mut to = self.intake.lock().unwrap();
+        to.extend(from.iter().copied());
+    }
+}

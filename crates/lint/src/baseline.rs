@@ -1,0 +1,211 @@
+//! The grandfathered-findings baseline and its downward ratchet.
+//!
+//! `crates/lint/baseline.lint` records, per `(rule, file)`, how many
+//! findings existed when the rule landed. The contract:
+//!
+//! * **Over baseline** — any `(rule, file)` whose current count exceeds its
+//!   baseline entry fails, and every finding in that group is reported (the
+//!   author sees the whole surface, not just the delta).
+//! * **At baseline** — findings are suppressed and counted as `baselined`.
+//! * **Under baseline** — progress. Locally this prints a note; in CI
+//!   (`--ratchet`) a stale entry *fails* until the baseline is regenerated
+//!   with `--write-baseline`, so the recorded debt only ever shrinks and a
+//!   regression can never hide inside old slack.
+//!
+//! The file format is one tab-separated `CODE<TAB>file<TAB>count` per line,
+//! sorted, `#` comments allowed — diff-reviewable and merge-friendly.
+
+use crate::Violation;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `(rule code, file) → grandfathered count`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parse the baseline file format. Malformed lines are reported as
+    /// errors, not ignored — a silently dropped entry would un-ratchet.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let entry = (|| -> Option<((String, String), usize)> {
+                let code = parts.next()?.trim();
+                let file = parts.next()?.trim();
+                let count: usize = parts.next()?.trim().parse().ok()?;
+                if code.is_empty() || file.is_empty() || count == 0 {
+                    return None;
+                }
+                Some(((code.to_string(), file.to_string()), count))
+            })();
+            match entry {
+                Some((key, count)) => {
+                    counts.insert(key, count);
+                }
+                None => {
+                    return Err(format!(
+                        "baseline line {}: expected `CODE<TAB>file<TAB>count`, got `{line}`",
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+/// Render the baseline that would exactly cover `violations`.
+pub fn render(violations: &[Violation]) -> String {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry((
+                v.rule.code().to_string(),
+                v.file.to_string_lossy().replace('\\', "/"),
+            ))
+            .or_default() += 1;
+    }
+    let mut out = String::from(
+        "# clyde-lint baseline: grandfathered findings, ratcheted down in CI.\n\
+         # Regenerate with `clyde-lint --write-baseline` after burning debt down.\n",
+    );
+    for ((code, file), count) in &counts {
+        out.push_str(&format!("{code}\t{file}\t{count}\n"));
+    }
+    out
+}
+
+/// The outcome of applying a baseline to a scan.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings that must fail the run: new `(rule, file)` keys, or every
+    /// finding of a key whose count grew past its baseline entry.
+    pub failing: Vec<Violation>,
+    /// Findings suppressed by the baseline.
+    pub baselined: usize,
+    /// `(code, file, baseline, actual)` where actual < baseline — debt was
+    /// paid down and the baseline should be regenerated.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+/// Split a scan's violations into failing / baselined, and detect stale
+/// (over-generous) baseline entries.
+pub fn apply(baseline: &Baseline, violations: Vec<Violation>) -> Applied {
+    let mut grouped: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+    for v in violations {
+        grouped
+            .entry((
+                v.rule.code().to_string(),
+                v.file.to_string_lossy().replace('\\', "/"),
+            ))
+            .or_default()
+            .push(v);
+    }
+    let mut out = Applied::default();
+    for (key, group) in &grouped {
+        let allowed = baseline.counts.get(key).copied().unwrap_or(0);
+        if group.len() > allowed {
+            out.failing.extend(group.iter().cloned());
+        } else {
+            out.baselined += group.len();
+            if group.len() < allowed {
+                out.stale
+                    .push((key.0.clone(), key.1.clone(), allowed, group.len()));
+            }
+        }
+    }
+    for (key, &allowed) in &baseline.counts {
+        if !grouped.contains_key(key) {
+            out.stale.push((key.0.clone(), key.1.clone(), allowed, 0));
+        }
+    }
+    out.failing.sort();
+    out.stale.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+    use std::path::PathBuf;
+
+    fn v(file: &str, line: usize, rule: Rule) -> Violation {
+        Violation {
+            file: PathBuf::from(file),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_render_and_parse() {
+        let vs = vec![
+            v("a.rs", 1, Rule::PanicFree),
+            v("a.rs", 2, Rule::PanicFree),
+            v("b.rs", 3, Rule::FloatOrder),
+        ];
+        let text = render(&vs);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.total(), 3);
+        let applied = apply(&b, vs);
+        assert!(applied.failing.is_empty());
+        assert_eq!(applied.baselined, 3);
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn growth_fails_the_whole_group() {
+        let b = Baseline::parse("D007\ta.rs\t1\n").unwrap();
+        let applied = apply(
+            &b,
+            vec![v("a.rs", 1, Rule::PanicFree), v("a.rs", 2, Rule::PanicFree)],
+        );
+        assert_eq!(applied.failing.len(), 2);
+        assert_eq!(applied.baselined, 0);
+    }
+
+    #[test]
+    fn shrinkage_is_stale_not_failing() {
+        let b = Baseline::parse("D007\ta.rs\t3\nD006\tgone.rs\t2\n").unwrap();
+        let applied = apply(&b, vec![v("a.rs", 1, Rule::PanicFree)]);
+        assert!(applied.failing.is_empty());
+        assert_eq!(applied.baselined, 1);
+        assert_eq!(
+            applied.stale,
+            vec![
+                ("D006".into(), "gone.rs".into(), 2, 0),
+                ("D007".into(), "a.rs".into(), 3, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn new_keys_fail() {
+        let b = Baseline::parse("").unwrap();
+        let applied = apply(&b, vec![v("a.rs", 1, Rule::WallTaint)]);
+        assert_eq!(applied.failing.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("D007 a.rs 1\n").is_err()); // spaces, not tabs
+        assert!(Baseline::parse("D007\ta.rs\tzero\n").is_err());
+        assert!(Baseline::parse("# comment\n\nD007\ta.rs\t1\n").is_ok());
+    }
+}

@@ -1,0 +1,606 @@
+//! Workspace module map, intra-crate call graph, and the static
+//! lock-acquisition graph (rule D009).
+//!
+//! The runtime `clyde_common::lockorder` checker catches lock-order
+//! inversions only on schedules that actually interleave them; this module
+//! catches them at lint time by over-approximating every acquisition order
+//! the code *could* exhibit:
+//!
+//! * **Lock classes** are receiver names of `Mutex`/`RwLock` declarations,
+//!   keyed per crate (`mapred::outputs`). Class-level, not instance-level —
+//!   two elements of one `Vec<Mutex<_>>` share a class, which is exactly
+//!   the granularity the runtime checker uses.
+//! * **Direct edges** `A → B`: function acquires B while a guard of A is
+//!   statically held. Guard extent is tracked syntactically: a let-bound
+//!   guard lives until its enclosing brace closes or an explicit
+//!   `drop(guard)`; an expression temporary (`x.lock().unwrap().push(..)`)
+//!   lives only to the end of its statement. `try_lock` never contributes
+//!   an edge (it cannot block).
+//! * **Transitive edges** flow through the intra-crate call graph: if `f`
+//!   holds A and calls `g`, every class in `g`'s transitive acquire set
+//!   gets an `A → …` edge. Call resolution is by simple name within the
+//!   crate — an over-approximation (all same-named fns are candidate
+//!   callees), which errs toward reporting.
+//!
+//! A cycle in the resulting digraph is a schedule that can deadlock; D009
+//! reports each elementary cycle once, anchored at its first edge's source
+//! location.
+
+use crate::parse::{let_binding_before, FileAst};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods that acquire a blocking guard on a lock-class receiver.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// One acquisition-order edge, with the site that established it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: usize,
+    /// Present when the edge flows through a call (`holder -> callee`).
+    pub via_call: Option<String>,
+}
+
+/// The lock analysis of one crate (or one file treated as its own crate).
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    pub edges: Vec<LockEdge>,
+    /// Elementary cycles, each a class path `[a, b, .., a]` plus the edge
+    /// anchoring the report.
+    pub cycles: Vec<(Vec<String>, LockEdge)>,
+}
+
+#[derive(Debug, Default)]
+struct FnLocks {
+    /// Classes this fn acquires directly.
+    acquires: BTreeSet<String>,
+    /// `(held classes, callee simple name, file, line)` for calls made under
+    /// at least one held guard.
+    calls_held: Vec<(BTreeSet<String>, String, String, usize)>,
+    /// All intra-crate callees (for the transitive-acquire fixpoint).
+    callees: BTreeSet<String>,
+}
+
+/// Build the lock graph for one crate's files.
+///
+/// `files` pairs each display path with its parsed AST; lock classes and the
+/// call graph are resolved across the whole slice.
+pub fn analyze_locks(files: &[(&str, &FileAst)]) -> LockGraph {
+    // Crate-wide lock classes and fn-name set.
+    let mut classes: BTreeSet<&str> = BTreeSet::new();
+    let mut fn_names: BTreeSet<&str> = BTreeSet::new();
+    for (_, ast) in files {
+        classes.extend(ast.lock_names.iter().map(String::as_str));
+        fn_names.extend(
+            ast.fns
+                .iter()
+                .filter(|f| !f.is_test)
+                .map(|f| f.name.as_str()),
+        );
+    }
+    if classes.is_empty() {
+        return LockGraph::default();
+    }
+
+    let mut per_fn: BTreeMap<String, FnLocks> = BTreeMap::new();
+    let mut direct_edges: Vec<LockEdge> = Vec::new();
+
+    for (path, ast) in files {
+        for f in ast.fns.iter().filter(|f| !f.is_test && !f.nested) {
+            let locks = scan_fn(path, ast, &f.body, &classes, &fn_names, &mut direct_edges);
+            let entry = per_fn.entry(f.name.clone()).or_default();
+            entry.acquires.extend(locks.acquires);
+            entry.calls_held.extend(locks.calls_held);
+            entry.callees.extend(locks.callees);
+        }
+    }
+
+    // Fixpoint: transitive acquire sets through the call graph.
+    let mut trans: BTreeMap<&str, BTreeSet<String>> = per_fn
+        .iter()
+        .map(|(name, fl)| (name.as_str(), fl.acquires.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, fl) in &per_fn {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in &fl.callees {
+                if let Some(set) = trans.get(callee.as_str()) {
+                    add.extend(set.iter().cloned());
+                }
+            }
+            let cur = trans.get_mut(name.as_str()).expect("seeded above");
+            let before = cur.len();
+            cur.extend(add);
+            changed |= cur.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges through calls: held classes order-before everything the callee
+    // (transitively) acquires.
+    let mut edges: BTreeSet<LockEdge> = direct_edges.into_iter().collect();
+    for fl in per_fn.values() {
+        for (held, callee, file, line) in &fl.calls_held {
+            let Some(acq) = trans.get(callee.as_str()) else {
+                continue;
+            };
+            for h in held {
+                for a in acq {
+                    if h != a {
+                        edges.insert(LockEdge {
+                            from: h.clone(),
+                            to: a.clone(),
+                            file: file.clone(),
+                            line: *line,
+                            via_call: Some(callee.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let edges: Vec<LockEdge> = edges.into_iter().collect();
+    let cycles = find_cycles(&edges);
+    LockGraph { edges, cycles }
+}
+
+/// Scan one fn body for acquisitions, tracking guard extents.
+fn scan_fn(
+    path: &str,
+    ast: &FileAst,
+    body: &std::ops::Range<usize>,
+    classes: &BTreeSet<&str>,
+    fn_names: &BTreeSet<&str>,
+    edges: &mut Vec<LockEdge>,
+) -> FnLocks {
+    struct Guard {
+        class: String,
+        /// `Some(depth)`: let-bound, released when brace depth drops below
+        /// `depth`. `None`: statement temporary, released at the next `;`.
+        scope_depth: Option<u32>,
+        binding: Option<String>,
+    }
+    let mut held: Vec<Guard> = Vec::new();
+    let mut out = FnLocks::default();
+
+    for i in body.clone() {
+        let depth = ast.depth[i];
+        held.retain(|g| g.scope_depth.is_none_or(|d| depth >= d));
+        let t = ast.tok(i);
+        if t.kind == crate::lexer::TokKind::Punct && t.text == ";" {
+            held.retain(|g| g.scope_depth.is_some());
+            continue;
+        }
+        if t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        // `drop(guard)` releases a named guard early.
+        if t.text == "drop" && ast.is_punct(i + 1, "(") {
+            if let Some(name_tok) = ast.sig.get(i + 2) {
+                held.retain(|g| g.binding.as_deref() != Some(name_tok.text.as_str()));
+            }
+            continue;
+        }
+        // Acquisition: `<receiver>.lock(` / `.read(` / `.write(` where the
+        // receiver's last ident is a known lock class. `try_lock` is a
+        // different method name and so is exempt by construction.
+        let is_acquire = ACQUIRE_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && ast.is_punct(i - 1, ".")
+            && ast.is_punct(i + 1, "(");
+        if is_acquire {
+            if let Some(class) = receiver_class(ast, i - 1, classes) {
+                for g in &held {
+                    if g.class != class {
+                        edges.push(LockEdge {
+                            from: g.class.clone(),
+                            to: class.clone(),
+                            file: path.to_string(),
+                            line: ast.line(i),
+                            via_call: None,
+                        });
+                    }
+                }
+                out.acquires.insert(class.clone());
+                // A `let` binds the *guard* only when nothing but
+                // `unwrap`/`expect` is chained after the acquire —
+                // `let n = x.lock().len();` binds the length, and the
+                // guard is a statement temporary.
+                let binding = let_binding_before(ast, i).filter(|_| guard_chain_only(ast, i + 1));
+                held.push(Guard {
+                    class,
+                    scope_depth: binding.as_ref().map(|_| depth),
+                    binding,
+                });
+            }
+            continue;
+        }
+        // Intra-crate call, resolved by simple name. Plain calls always
+        // resolve; method calls only on a `self` receiver — resolving
+        // `data.len()` to every crate fn named `len` would invent edges.
+        if ast.is_punct(i + 1, "(") && fn_names.contains(t.text.as_str()) {
+            let is_method = i > 0 && ast.is_punct(i - 1, ".");
+            let resolvable = !is_method || (i >= 2 && ast.is_ident(i - 2, "self"));
+            if resolvable {
+                out.callees.insert(t.text.clone());
+                if !held.is_empty() {
+                    out.calls_held.push((
+                        held.iter().map(|g| g.class.clone()).collect(),
+                        t.text.clone(),
+                        path.to_string(),
+                        ast.line(i),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when the expression chained after an acquire call is at most
+/// `.unwrap()` / `.expect(..)` — i.e. the statement's value *is* the guard.
+/// Any other chained method (`.get(..)`, `.len()`) consumes the guard as a
+/// temporary, so a surrounding `let` binds the method's result instead.
+/// `open_at` is the index of the `(` that follows the acquire method name.
+fn guard_chain_only(ast: &FileAst, open_at: usize) -> bool {
+    let mut j = match skip_paren_group(ast, open_at) {
+        Some(j) => j,
+        None => return false,
+    };
+    loop {
+        if !ast.is_punct(j, ".") {
+            return true; // `;`, `?`, operator, `}` … — chain ends here
+        }
+        let is_adapter = ast.sig.get(j + 1).is_some_and(|t| {
+            t.kind == crate::lexer::TokKind::Ident && (t.text == "unwrap" || t.text == "expect")
+        }) && ast.is_punct(j + 2, "(");
+        if !is_adapter {
+            return false;
+        }
+        j = match skip_paren_group(ast, j + 2) {
+            Some(next) => next,
+            None => return false,
+        };
+    }
+}
+
+/// Index just past the `)` matching the `(` at `open_at`, or `None` if the
+/// group never closes (truncated input).
+fn skip_paren_group(ast: &FileAst, open_at: usize) -> Option<usize> {
+    if !ast.is_punct(open_at, "(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    for j in open_at..ast.sig.len() {
+        if ast.is_punct(j, "(") {
+            depth += 1;
+        } else if ast.is_punct(j, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+/// The lock class of the receiver ending at the `.` token `dot_at`:
+/// the nearest ident walking back over one `[index]` suffix if present
+/// (`self.outs[i].lock()` → `outs`).
+fn receiver_class(ast: &FileAst, dot_at: usize, classes: &BTreeSet<&str>) -> Option<String> {
+    let mut j = dot_at;
+    if j == 0 {
+        return None;
+    }
+    j -= 1;
+    if ast.is_punct(j, "]") {
+        // Walk back to the matching `[`.
+        let mut depth = 1;
+        while j > 0 && depth > 0 {
+            j -= 1;
+            if ast.is_punct(j, "]") {
+                depth += 1;
+            } else if ast.is_punct(j, "[") {
+                depth -= 1;
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    let t = ast.sig.get(j)?;
+    if t.kind == crate::lexer::TokKind::Ident && classes.contains(t.text.as_str()) {
+        Some(t.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Elementary cycles in the class digraph, each reported once (canonical
+/// rotation starting at the lexically smallest class).
+fn find_cycles(edges: &[LockEdge]) -> Vec<(Vec<String>, LockEdge)> {
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut cycles = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack: Vec<&str> = vec![start];
+        let mut path_edges: Vec<&LockEdge> = Vec::new();
+        dfs(
+            start,
+            start,
+            &adj,
+            &mut stack,
+            &mut path_edges,
+            &mut seen,
+            &mut cycles,
+            0,
+        );
+    }
+    cycles
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<'a>(
+    node: &'a str,
+    start: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a LockEdge>>,
+    stack: &mut Vec<&'a str>,
+    path_edges: &mut Vec<&'a LockEdge>,
+    seen: &mut BTreeSet<Vec<String>>,
+    cycles: &mut Vec<(Vec<String>, LockEdge)>,
+    depth: usize,
+) {
+    if depth > 32 {
+        return; // pathological input; classes are few in practice
+    }
+    let Some(outs) = adj.get(node) else { return };
+    for e in outs {
+        if e.to == start {
+            let mut cyc: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            cyc.push(start.to_string());
+            // Canonicalize: rotate so the smallest class leads.
+            let min_pos = cyc[..cyc.len() - 1]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.as_str())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut canon: Vec<String> = Vec::with_capacity(cyc.len());
+            for k in 0..cyc.len() - 1 {
+                canon.push(cyc[(min_pos + k) % (cyc.len() - 1)].clone());
+            }
+            canon.push(canon[0].clone());
+            if seen.insert(canon.clone()) {
+                let anchor = path_edges.first().copied().unwrap_or(e).clone();
+                cycles.push((canon, anchor));
+            }
+            continue;
+        }
+        if stack.contains(&e.to.as_str()) {
+            continue; // inner cycle; found from its own start node
+        }
+        stack.push(&e.to);
+        path_edges.push(e);
+        dfs(
+            &e.to,
+            start,
+            adj,
+            stack,
+            path_edges,
+            seen,
+            cycles,
+            depth + 1,
+        );
+        path_edges.pop();
+        stack.pop();
+    }
+}
+
+/// The crate key of a workspace-relative path: the component after
+/// `crates/`, else `root` (top-level `src/`, `tests/`, `examples/`).
+pub fn crate_of(rel_path: &str) -> String {
+    let norm = rel_path.replace('\\', "/");
+    if let Some(rest) = norm.split("crates/").nth(1) {
+        if let Some(name) = rest.split('/').next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn graph_of(src: &str) -> LockGraph {
+        analyze_locks(&[("crates/x/src/lib.rs", &parse(&lex(src)))])
+    }
+
+    #[test]
+    fn ab_ba_is_a_cycle() {
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn ab(&self) { let ga = self.a.lock().unwrap(); let gb = self.b.lock().unwrap(); }
+                fn ba(&self) { let gb = self.b.lock().unwrap(); let ga = self.a.lock().unwrap(); }
+            }
+        "#;
+        let g = graph_of(src);
+        assert_eq!(g.cycles.len(), 1, "edges: {:?}", g.edges);
+        assert_eq!(g.cycles[0].0, vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) { let ga = self.a.lock().unwrap(); let gb = self.b.lock().unwrap(); }
+                fn g(&self) { let ga = self.a.lock().unwrap(); let gb = self.b.lock().unwrap(); }
+            }
+        "#;
+        let g = graph_of(src);
+        assert!(g.cycles.is_empty());
+        assert!(g.edges.iter().all(|e| e.from == "a" && e.to == "b"));
+    }
+
+    #[test]
+    fn statement_temporaries_do_not_overlap() {
+        // `x.lock().unwrap().push(..);` releases at the semicolon — the two
+        // acquisitions never coexist, so no edge in either direction.
+        let src = r#"
+            struct S { a: Mutex<Vec<u32>>, b: Mutex<Vec<u32>> }
+            impl S {
+                fn f(&self) { self.a.lock().unwrap().push(1); self.b.lock().unwrap().push(2); }
+                fn g(&self) { self.b.lock().unwrap().push(1); self.a.lock().unwrap().push(2); }
+            }
+        "#;
+        let g = graph_of(src);
+        assert!(g.edges.is_empty(), "edges: {:?}", g.edges);
+    }
+
+    #[test]
+    fn drop_releases_early() {
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) {
+                    let ga = self.a.lock().unwrap();
+                    drop(ga);
+                    let gb = self.b.lock().unwrap();
+                }
+                fn g(&self) { let gb = self.b.lock().unwrap(); let ga = self.a.lock().unwrap(); }
+            }
+        "#;
+        let g = graph_of(src);
+        assert!(g.cycles.is_empty(), "cycles: {:?}", g.cycles);
+    }
+
+    #[test]
+    fn block_scope_releases_guards() {
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) {
+                    { let ga = self.a.lock().unwrap(); }
+                    let gb = self.b.lock().unwrap();
+                }
+                fn g(&self) { let gb = self.b.lock().unwrap(); let ga = self.a.lock().unwrap(); }
+            }
+        "#;
+        assert!(graph_of(src).cycles.is_empty());
+    }
+
+    #[test]
+    fn edges_flow_through_calls() {
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn leaf(&self) { let gb = self.b.lock().unwrap(); }
+                fn f(&self) { let ga = self.a.lock().unwrap(); self.leaf(); }
+                fn g(&self) { let gb = self.b.lock().unwrap(); let ga = self.a.lock().unwrap(); }
+            }
+        "#;
+        let g = graph_of(src);
+        assert_eq!(g.cycles.len(), 1, "edges: {:?}", g.edges);
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.via_call.as_deref() == Some("leaf")));
+    }
+
+    #[test]
+    fn rwlock_and_indexed_receivers_count() {
+        let src = r#"
+            struct S { state: RwLock<u32>, outs: Vec<Mutex<u8>> }
+            impl S {
+                fn f(&self, i: usize) {
+                    let g = self.state.write().unwrap();
+                    let o = self.outs[i].lock().unwrap();
+                }
+            }
+        "#;
+        let g = graph_of(src);
+        assert!(g.edges.iter().any(|e| e.from == "state" && e.to == "outs"));
+    }
+
+    #[test]
+    fn chained_method_makes_guard_a_temporary() {
+        // `let data = self.a.lock().get(k).cloned()…;` binds the clone, not
+        // the guard — the guard dies at the semicolon, so the later `b`
+        // acquisition does not overlap it (the distcache::fetch shape).
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) {
+                    let data = self.a.lock().get(0).cloned();
+                    let n = self.b.lock().insert(1);
+                }
+                fn g(&self) {
+                    let n = self.b.lock().len();
+                    let data = self.a.lock().get(0).cloned();
+                }
+            }
+        "#;
+        let g = graph_of(src);
+        assert!(g.edges.is_empty(), "edges: {:?}", g.edges);
+    }
+
+    #[test]
+    fn non_self_method_calls_do_not_resolve() {
+        // `data.len()` must not resolve to the crate's own `len` (which
+        // locks `a`) — the receiver is not `self`.
+        let src = r#"
+            struct S { a: Mutex<Vec<u8>>, b: Mutex<u64> }
+            impl S {
+                fn len(&self) -> usize { self.a.lock().unwrap().len() }
+                fn f(&self, data: &[u8]) {
+                    let gb = self.b.lock().unwrap();
+                    let n = data.len();
+                }
+                fn g(&self) {
+                    let ga = self.a.lock().unwrap();
+                    let gb = self.b.lock().unwrap();
+                }
+            }
+        "#;
+        let g = graph_of(src);
+        assert!(g.cycles.is_empty(), "edges: {:?}", g.edges);
+        // …but a `self` receiver still flows through the call graph.
+        let src_self = r#"
+            struct S { a: Mutex<Vec<u8>>, b: Mutex<u64> }
+            impl S {
+                fn len(&self) -> usize { self.a.lock().unwrap().len() }
+                fn f(&self) {
+                    let gb = self.b.lock().unwrap();
+                    let n = self.len();
+                }
+                fn g(&self) {
+                    let ga = self.a.lock().unwrap();
+                    let gb = self.b.lock().unwrap();
+                }
+            }
+        "#;
+        assert_eq!(graph_of(src_self).cycles.len(), 1);
+    }
+
+    #[test]
+    fn crate_keys() {
+        assert_eq!(crate_of("crates/mapred/src/engine.rs"), "mapred");
+        assert_eq!(crate_of("tests/determinism.rs"), "root");
+        assert_eq!(crate_of("src/main.rs"), "root");
+    }
+}

@@ -1,56 +1,67 @@
-//! `clyde-lint`: the determinism & concurrency invariant catalog, enforced
-//! by lightweight source scanning.
+//! `clyde-lint` v2: the determinism & concurrency invariant catalog,
+//! enforced by a zero-dependency static analyzer.
 //!
 //! The workspace's load-bearing guarantee is that traces, metric snapshots,
 //! and query results are byte-identical across runs, fault plans, and thread
-//! counts. That property is easy to break silently — iterate a `HashMap`
-//! into a report, read the wall clock in a cost path, seed an RNG from
-//! entropy — so this crate checks it mechanically on every CI run:
+//! counts — and that the recovery paths backing the fault claims cannot
+//! panic. Those properties are easy to break silently, so this crate checks
+//! them mechanically on every CI run. The v1 scanner matched tokens against
+//! masked lines; v2 keeps those rules and adds the structure they could not
+//! see — a hand-rolled lossless lexer ([`lexer`]), a simplified per-file AST
+//! ([`parse`]), and an intra-crate call graph with a static lock graph
+//! ([`graph`]):
 //!
 //! * **D001 `unordered`** — no unordered `HashMap`/`HashSet` iteration may
-//!   feed output. Every iteration over a hash container must be sorted
-//!   nearby (`.sort*()` within the next few lines, or collected into a
-//!   `BTreeMap`/`BTreeSet`), end in an order-insensitive reduction
-//!   (`sum`/`count`/`min`/`max`/`all`/`any`) on the same line, or carry an
-//!   explicit pragma naming why the order cannot escape.
-//! * **D002 `wallclock`** — `Instant::now` / `SystemTime` are banned outside
-//!   the audited wall-phase module (`crates/common/src/obs/wall.rs`);
-//!   everything else measures wall time through `WallTimer`.
-//! * **D003 `entropy`** — no entropy-seeded randomness (`thread_rng`,
-//!   `from_entropy`, `OsRng`, `RandomState`, …). All randomness must flow
-//!   from explicit seeds through the splitmix64 plumbing
-//!   (`crates/mapred/src/fault.rs`, `SsbGen`).
-//! * **D004 `concurrency`** — `thread::spawn`/`thread::scope`, `Mutex`,
-//!   `RwLock`, and `Condvar` only appear in the audited concurrency modules
-//!   (the runners, the engine, the lock-order checker, and the handful of
-//!   shared-state holders listed in [`D004_AUDITED`]), so shared mutable
-//!   state cannot creep into task code paths unreviewed.
-//! * **D005 `metricname`** — every `counter_add`/`gauge_set`/
-//!   `histogram_record` call site names its metric with a string literal
-//!   drawn from the registered namespaces (`mapred.*`, `dfs.*`,
-//!   `scheduler.*`, `probe.*`). Literal names keep the metric surface
-//!   greppable and snapshot-diffable; the namespace registry keeps tools
-//!   like `clyde-profdiff` and the CI metric goldens from silently missing
-//!   a renamed counter. The `scheduler.*` namespace is additionally
-//!   *closed*: the job server's queue/tenant series are a CI gate surface
-//!   (`workload-gate` reads them), so a literal `scheduler.` name must be
-//!   one of [`D005_SCHEDULER_METRICS`] — a new series is registered there
-//!   first, then emitted.
+//!   feed output: sort nearby, collect into a `BTreeMap`/`BTreeSet`, end in
+//!   an order-insensitive reduction, or pragma with a reason.
+//! * **D002 `wallclock`** — `Instant::now` / `SystemTime` only in the
+//!   audited wall-phase module ([`D002_ALLOWED`]); everything else measures
+//!   through `WallTimer`.
+//! * **D003 `entropy`** — no entropy-seeded randomness; all RNG flows from
+//!   explicit seeds through the splitmix64 plumbing.
+//! * **D004 `concurrency`** — concurrency primitives only in the audited
+//!   modules ([`D004_AUDITED`]); task code paths stay lock-free.
+//! * **D005 `metricname`** — metric names are string literals in registered
+//!   namespaces ([`D005_NAMESPACES`]); `scheduler.*` is a closed registry
+//!   ([`D005_SCHEDULER_METRICS`]).
+//! * **D006 `floatorder`** — non-associative float reductions in the
+//!   merge-scope files ([`rules::d006::D006_MERGE_SCOPE`]) must pin their
+//!   fold order or carry a reasoned pragma.
+//! * **D007 `panicfree`** — no `unwrap`/`expect`/`panic!`/unchecked
+//!   indexing on the designated recovery surface
+//!   ([`rules::d007::D007_RECOVERY`]); grandfathered sites live in
+//!   `baseline.lint` under a CI-enforced downward ratchet ([`baseline`]).
+//! * **D008 `walltaint`** — per-function taint tracking: wall-derived
+//!   values must not reach sim-time sinks (metrics, traces, profile JSON)
+//!   except through the filtered `*wall*` channels.
+//! * **D009 `lockgraph`** — the static lock-acquisition graph over the
+//!   call graph must be acyclic, catching at lint time the inversions the
+//!   runtime `lockorder` checker only sees on unlucky schedules.
 //!
 //! Violations are suppressed by a pragma on the offending line or the line
 //! directly above:
 //!
 //! ```text
-//! // clyde-lint: allow(unordered, reason=order-insensitive fold into counter)
+//! // clyde-lint: allow(floatorder, reason=fixed-merge-order, results sorted by first_morsel)
 //! ```
 //!
 //! The reason is mandatory; a pragma without one is itself an error (P001).
-//! Scanning is line/token based over comment- and string-stripped source —
-//! deliberately not a rustc plugin, so it runs in milliseconds with no
-//! nightly dependency and its rules stay greppable.
+//! Deliberately not a rustc plugin: the analyzer lexes and parses the whole
+//! workspace in milliseconds, with no nightly dependency, and its rules stay
+//! greppable.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod baseline;
+pub mod graph;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+pub use rules::d006::D006_MERGE_SCOPE;
+pub use rules::d007::D007_RECOVERY;
+pub use rules::d008::D008_SINKS;
 
 /// The invariant catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -65,11 +76,31 @@ pub enum Rule {
     Concurrency,
     /// D005: metric name that is not a literal in a registered namespace.
     MetricName,
+    /// D006: unpinned float reduction in merge-scope code.
+    FloatOrder,
+    /// D007: panic-capable site on the recovery surface.
+    PanicFree,
+    /// D008: wall-derived value flowing into a sim-time artifact.
+    WallTaint,
+    /// D009: cycle in the static lock-acquisition graph.
+    LockGraph,
     /// P001: malformed `clyde-lint` pragma.
     BadPragma,
 }
 
 impl Rule {
+    pub const ALL: [Rule; 9] = [
+        Rule::Unordered,
+        Rule::WallClock,
+        Rule::Entropy,
+        Rule::Concurrency,
+        Rule::MetricName,
+        Rule::FloatOrder,
+        Rule::PanicFree,
+        Rule::WallTaint,
+        Rule::LockGraph,
+    ];
+
     pub fn code(self) -> &'static str {
         match self {
             Rule::Unordered => "D001",
@@ -77,6 +108,10 @@ impl Rule {
             Rule::Entropy => "D003",
             Rule::Concurrency => "D004",
             Rule::MetricName => "D005",
+            Rule::FloatOrder => "D006",
+            Rule::PanicFree => "D007",
+            Rule::WallTaint => "D008",
+            Rule::LockGraph => "D009",
             Rule::BadPragma => "P001",
         }
     }
@@ -89,6 +124,10 @@ impl Rule {
             Rule::Entropy => "entropy",
             Rule::Concurrency => "concurrency",
             Rule::MetricName => "metricname",
+            Rule::FloatOrder => "floatorder",
+            Rule::PanicFree => "panicfree",
+            Rule::WallTaint => "walltaint",
+            Rule::LockGraph => "lockgraph",
             Rule::BadPragma => "pragma",
         }
     }
@@ -138,7 +177,8 @@ pub const D004_AUDITED: &[&str] = &[
     // source (one mutex around reader state, held only to slice the next
     // block) and the thread-result sink; plus parallel dimension builds.
     // Audited 2026-08: no nested lock acquisition — `MorselSource::next`
-    // and the `done` sink take one lock each and never both.
+    // and the `done` sink take one lock each and never both. (Rule D009
+    // now re-derives this statically on every run.)
     "crates/core/src/mtrunner.rs",
     "crates/core/src/hashtable.rs",
     // The MapReduce engine, task context, and distributed cache.
@@ -160,535 +200,7 @@ pub const D004_AUDITED: &[&str] = &[
     // threading there (see `d004_job_server_layer_stays_lock_free`).
 ];
 
-/// A parsed `allow(rule, reason=...)` suppression pragma.
-#[derive(Debug, Clone)]
-struct Pragma {
-    line: usize,
-    rule_name: String,
-}
-
-/// Replace comments and string/char literals with spaces, preserving line
-/// structure, so rule patterns never match prose or literals. Returns the
-/// masked text plus every comment with its line number (for pragma parsing).
-fn mask_source(src: &str) -> (String, Vec<(usize, String)>) {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut comments: Vec<(usize, String)> = Vec::new();
-    let mut cur_comment = String::new();
-    let mut comment_line = 0usize;
-    let mut line = 1usize;
-    let mut st = St::Code;
-    let mut i = 0usize;
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    comment_line = line;
-                    cur_comment.clear();
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    st = St::Str;
-                    out.push(' ');
-                }
-                'r' if next == Some('"') || next == Some('#') => {
-                    // Possible raw string r"..." / r#"..."#.
-                    let mut j = i + 1;
-                    let mut hashes = 0usize;
-                    while b.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                        continue;
-                    }
-                    out.push(c);
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a lifetime is 'ident not
-                    // followed by a closing quote.
-                    let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
-                        && b.get(i + 2) != Some(&'\'');
-                    if is_lifetime {
-                        out.push(c);
-                    } else {
-                        st = St::Char;
-                        out.push(' ');
-                    }
-                }
-                '\n' => {
-                    line += 1;
-                    out.push('\n');
-                }
-                _ => out.push(c),
-            },
-            St::LineComment => {
-                if c == '\n' {
-                    comments.push((comment_line, std::mem::take(&mut cur_comment)));
-                    st = St::Code;
-                    line += 1;
-                    out.push('\n');
-                } else {
-                    cur_comment.push(c);
-                    out.push(' ');
-                }
-            }
-            St::BlockComment(depth) => {
-                if c == '\n' {
-                    line += 1;
-                    out.push('\n');
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                } else if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    if next == Some('\n') {
-                        line += 1;
-                        out.pop();
-                        out.pop();
-                        out.push_str(" \n");
-                    }
-                    i += 2;
-                    continue;
-                } else if c == '"' {
-                    st = St::Code;
-                    out.push(' ');
-                } else if c == '\n' {
-                    line += 1;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0usize;
-                    while seen < hashes && b.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        st = St::Code;
-                        for _ in i..j {
-                            out.push(' ');
-                        }
-                        i = j;
-                        continue;
-                    }
-                    out.push(' ');
-                } else if c == '\n' {
-                    line += 1;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Char => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                } else if c == '\'' {
-                    st = St::Code;
-                    out.push(' ');
-                } else if c == '\n' {
-                    // Unterminated char (really a lifetime in odd position).
-                    st = St::Code;
-                    line += 1;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-        }
-        i += 1;
-    }
-    if st == St::LineComment {
-        comments.push((comment_line, cur_comment));
-    }
-    (out, comments)
-}
-
-/// Parse pragmas out of the file's comments. Malformed pragmas become P001
-/// violations.
-fn parse_pragmas(
-    file: &Path,
-    comments: &[(usize, String)],
-    violations: &mut Vec<Violation>,
-) -> Vec<Pragma> {
-    let mut pragmas = Vec::new();
-    for (line, text) in comments {
-        let Some(pos) = text.find("clyde-lint:") else {
-            continue;
-        };
-        let rest = text[pos + "clyde-lint:".len()..].trim();
-        let ok = (|| -> Option<Pragma> {
-            let body = rest.strip_prefix("allow(")?;
-            let body = body.strip_suffix(')').unwrap_or(body);
-            let (rule_name, reason_part) = body.split_once(',')?;
-            let reason = reason_part.trim().strip_prefix("reason=")?;
-            if reason.trim().is_empty() {
-                return None;
-            }
-            let rule_name = rule_name.trim().to_string();
-            let known = [
-                "unordered",
-                "wallclock",
-                "entropy",
-                "concurrency",
-                "metricname",
-            ];
-            if !known.contains(&rule_name.as_str()) {
-                return None;
-            }
-            Some(Pragma {
-                line: *line,
-                rule_name,
-            })
-        })();
-        match ok {
-            Some(p) => pragmas.push(p),
-            None => violations.push(Violation {
-                file: file.to_path_buf(),
-                line: *line,
-                rule: Rule::BadPragma,
-                message: format!(
-                    "malformed pragma `{}` — expected \
-                     `clyde-lint: allow(<unordered|wallclock|entropy|concurrency|metricname>, \
-                     reason=...)` with a non-empty reason",
-                    rest
-                ),
-            }),
-        }
-    }
-    pragmas
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Does `needle` occur in `hay` bounded by non-identifier characters?
-fn contains_token(hay: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(needle) {
-        let abs = start + pos;
-        let before_ok = abs == 0 || !is_ident_char(hay[..abs].chars().next_back().unwrap());
-        let after = hay[abs + needle.len()..].chars().next();
-        let after_ok = after.is_none_or(|c| !is_ident_char(c));
-        if before_ok && after_ok {
-            return true;
-        }
-        start = abs + needle.len();
-    }
-    false
-}
-
-/// Collect identifiers bound to hash containers in this file: `name:
-/// FxHashMap<...>` declarations (lets, struct fields, parameters) and
-/// `let name = FxHashMap::default()`-style initializations.
-fn hash_container_names(masked: &str) -> Vec<String> {
-    const TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
-    let mut names: Vec<String> = Vec::new();
-    for line in masked.lines() {
-        for ty in TYPES {
-            let mut start = 0;
-            while let Some(pos) = line[start..].find(ty) {
-                let abs = start + pos;
-                start = abs + ty.len();
-                let before = &line[..abs];
-                if before
-                    .chars()
-                    .next_back()
-                    .is_some_and(|c| is_ident_char(c) && c != ':')
-                {
-                    continue; // part of a longer identifier
-                }
-                let name = if line[abs + ty.len()..].trim_start().starts_with("::") {
-                    // `let [mut] name = FxHashMap::default()`
-                    before
-                        .rfind('=')
-                        .map(|eq| before[..eq].trim_end())
-                        .map(|d| {
-                            d.rsplit(|c: char| !is_ident_char(c))
-                                .next()
-                                .unwrap_or("")
-                                .to_string()
-                        })
-                } else {
-                    // `name: [wrappers<]FxHashMap<...>` — walk back past `:`
-                    // and any generic wrappers (`Mutex<`, `Arc<`, `&`, …).
-                    before.rfind(':').map(|colon| {
-                        let mut d = before[..colon].trim_end();
-                        if d.ends_with(':') {
-                            d = d[..d.len() - 1].trim_end(); // `::` path, not a decl
-                            let _ = d;
-                            return String::new();
-                        }
-                        d.rsplit(|c: char| !is_ident_char(c))
-                            .next()
-                            .unwrap_or("")
-                            .to_string()
-                    })
-                };
-                if let Some(n) = name {
-                    if !n.is_empty()
-                        && !n.chars().next().unwrap().is_numeric()
-                        && n != "mut"
-                        && !names.contains(&n)
-                    {
-                        names.push(n);
-                    }
-                }
-            }
-        }
-    }
-    names
-}
-
-/// Suffixes after a container name that constitute iteration.
-const ITER_SUFFIXES: [&str; 6] = [
-    ".iter()",
-    ".into_iter()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-];
-
-/// Same-line terminal reductions that are insensitive to iteration order.
-const ORDER_FREE: [&str; 8] = [
-    ".sum()",
-    ".sum::<",
-    ".count()",
-    ".min()",
-    ".max()",
-    ".min_by",
-    ".max_by",
-    ".is_empty()",
-];
-
-/// Sort/ordered-collect patterns that discharge D001 when they appear on the
-/// flagged line or within the next `D001_WINDOW` lines.
-const SORTED_NEARBY: [&str; 7] = [
-    ".sort()",
-    ".sort_by",
-    ".sort_unstable",
-    ".sorted()",
-    "BTreeMap",
-    "BTreeSet",
-    "BinaryHeap",
-];
-
-const D001_WINDOW: usize = 4;
-
-fn d001_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
-    let names = hash_container_names(masked);
-    if names.is_empty() {
-        return;
-    }
-    let lines: Vec<&str> = masked.lines().collect();
-    for (idx, line) in lines.iter().enumerate() {
-        let mut hit: Option<String> = None;
-        for name in &names {
-            let mut start = 0;
-            while let Some(pos) = line[start..].find(name.as_str()) {
-                let abs = start + pos;
-                start = abs + name.len();
-                let before_ok =
-                    abs == 0 || !is_ident_char(line[..abs].chars().next_back().unwrap());
-                if !before_ok {
-                    continue;
-                }
-                let after = &line[abs + name.len()..];
-                if ITER_SUFFIXES.iter().any(|s| after.starts_with(s)) {
-                    hit = Some(format!("{name}{}", iter_suffix(after)));
-                    break;
-                }
-                // `for x in [&[mut ]]name [{...]` — direct IntoIterator use.
-                let head = &line[..abs];
-                let head_t = head.trim_end();
-                if (head_t.ends_with(" in") || head_t.ends_with("in &") || head_t.ends_with("&mut"))
-                    && line.contains("for ")
-                    && (after.trim_start().starts_with('{') || after.trim_end().is_empty())
-                {
-                    hit = Some(format!("for _ in {name}"));
-                    break;
-                }
-            }
-            if hit.is_some() {
-                break;
-            }
-        }
-        let Some(site) = hit else { continue };
-        // Discharged by an order-insensitive reduction on the same line?
-        if ORDER_FREE.iter().any(|p| line.contains(p)) {
-            continue;
-        }
-        // Discharged by sorting/ordered-collection nearby?
-        let window_end = (idx + 1 + D001_WINDOW).min(lines.len());
-        if lines[idx..window_end]
-            .iter()
-            .any(|l| SORTED_NEARBY.iter().any(|p| l.contains(p)))
-        {
-            continue;
-        }
-        violations.push(Violation {
-            file: file.to_path_buf(),
-            line: idx + 1,
-            rule: Rule::Unordered,
-            message: format!(
-                "unordered hash-container iteration `{site}` may leak nondeterministic \
-                 order into output — sort nearby, collect into a BTreeMap/BTreeSet, or \
-                 pragma with a reason the order cannot escape"
-            ),
-        });
-    }
-}
-
-fn iter_suffix(after: &str) -> &'static str {
-    for s in ITER_SUFFIXES {
-        if after.starts_with(s) {
-            return s;
-        }
-    }
-    ""
-}
-
-fn rel_allowed(file: &Path, allowlist: &[&str]) -> bool {
-    let norm: String = file
-        .to_string_lossy()
-        .replace('\\', "/")
-        .trim_start_matches("./")
-        .to_string();
-    allowlist.iter().any(|a| norm.ends_with(a))
-}
-
-fn d002_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
-    if rel_allowed(file, D002_ALLOWED) {
-        return;
-    }
-    const PATTERNS: [&str; 4] = [
-        "Instant::now",
-        "SystemTime",
-        "std::time::Instant",
-        "time::Instant",
-    ];
-    for (idx, line) in masked.lines().enumerate() {
-        if let Some(p) = PATTERNS.iter().find(|p| line.contains(*p)) {
-            violations.push(Violation {
-                file: file.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::WallClock,
-                message: format!(
-                    "`{p}` outside the wall-phase module — measure through \
-                     clyde_common::obs::WallTimer (crates/common/src/obs/wall.rs) instead"
-                ),
-            });
-        }
-    }
-}
-
-fn d003_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
-    const PATTERNS: [&str; 6] = [
-        "thread_rng",
-        "from_entropy",
-        "OsRng",
-        "getrandom",
-        "RandomState",
-        "rand::random",
-    ];
-    for (idx, line) in masked.lines().enumerate() {
-        if let Some(p) = PATTERNS.iter().find(|p| contains_token(line, p)) {
-            violations.push(Violation {
-                file: file.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::Entropy,
-                message: format!(
-                    "entropy-seeded randomness `{p}` — all RNG must flow from explicit \
-                     seeds (splitmix64 plumbing in crates/mapred/src/fault.rs, SsbGen)"
-                ),
-            });
-        }
-    }
-}
-
-fn d004_scan(file: &Path, masked: &str, violations: &mut Vec<Violation>) {
-    if rel_allowed(file, D004_AUDITED) {
-        return;
-    }
-    const PATTERNS: [&str; 5] = [
-        "thread::spawn",
-        "thread::scope",
-        "Mutex",
-        "RwLock",
-        "Condvar",
-    ];
-    for (idx, line) in masked.lines().enumerate() {
-        if let Some(p) = PATTERNS
-            .iter()
-            .find(|p| line.contains(*p) && (p.contains("::") || contains_token(line, p)))
-        {
-            violations.push(Violation {
-                file: file.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::Concurrency,
-                message: format!(
-                    "concurrency primitive `{p}` outside the audited modules — shared \
-                     mutable state belongs in the runners/engine/DFS state holders \
-                     (see clyde_lint::D004_AUDITED); task code paths stay lock-free"
-                ),
-            });
-        }
-    }
-}
-
-/// The metric emitters D005 covers and the namespaces a literal name may
-/// live in. Renames that leave these prefixes break snapshot goldens and
-/// `clyde-profdiff` attribution silently — hence a lint, not a convention.
-const D005_EMITTERS: [&str; 3] = ["counter_add", "gauge_set", "histogram_record"];
+/// Namespaces a literal metric name may live in (D005).
 pub const D005_NAMESPACES: [&str; 4] = ["mapred.", "dfs.", "scheduler.", "probe."];
 
 /// Files exempt from D005: the metrics registry itself (defines the
@@ -712,107 +224,122 @@ pub const D005_SCHEDULER_METRICS: [&str; 9] = [
     "scheduler.job_latency_s",
 ];
 
-/// How many lines below an emitter call D005 searches for the name literal
-/// (multi-line call sites put the name on the following line).
-const D005_WINDOW: usize = 2;
-
-/// Extract the first double-quoted literal from `raw`, starting no earlier
-/// than byte `from`.
-fn first_str_literal(raw: &str, from: usize) -> Option<&str> {
-    let tail = raw.get(from..)?;
-    let open = tail.find('"')?;
-    let body = &tail[open + 1..];
-    let close = body.find('"')?;
-    Some(&body[..close])
+/// A parsed `allow(rule, reason=...)` suppression pragma.
+#[derive(Debug, Clone)]
+pub(crate) struct Pragma {
+    line: usize,
+    rule_name: String,
 }
 
-fn d005_scan(file: &Path, masked: &str, raw: &str, violations: &mut Vec<Violation>) {
-    if rel_allowed(file, D005_ALLOWED) {
-        return;
-    }
-    let masked_lines: Vec<&str> = masked.lines().collect();
-    let raw_lines: Vec<&str> = raw.lines().collect();
-    for (idx, line) in masked_lines.iter().enumerate() {
-        let Some(emitter) = D005_EMITTERS.iter().find(|e| contains_token(line, e)) else {
+const PRAGMA_NAMES: [&str; 9] = [
+    "unordered",
+    "wallclock",
+    "entropy",
+    "concurrency",
+    "metricname",
+    "floatorder",
+    "panicfree",
+    "walltaint",
+    "lockgraph",
+];
+
+/// Parse pragmas out of the file's comments. Malformed pragmas become P001
+/// violations.
+fn parse_pragmas(
+    file: &Path,
+    comments: &[(usize, String)],
+    violations: &mut Vec<Violation>,
+) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for (line, text) in comments {
+        let Some(pos) = text.find("clyde-lint:") else {
             continue;
         };
-        // A definition or forwarding signature, not a call site.
-        if contains_token(line, "fn") {
-            continue;
-        }
-        // The name literal: same line after the emitter token, or (for
-        // wrapped calls) the first literal on one of the next few lines.
-        let call_pos = line.find(emitter).unwrap_or(0);
-        let mut name: Option<&str> = raw_lines
-            .get(idx)
-            .and_then(|r| first_str_literal(r, call_pos.min(r.len())));
-        if name.is_none() {
-            for look in raw_lines.iter().skip(idx + 1).take(D005_WINDOW) {
-                name = first_str_literal(look, 0);
-                if name.is_some() {
-                    break;
-                }
+        let rest = text[pos + "clyde-lint:".len()..].trim();
+        let ok = (|| -> Option<Pragma> {
+            let body = rest.strip_prefix("allow(")?;
+            let body = body.strip_suffix(')').unwrap_or(body);
+            let (rule_name, reason_part) = body.split_once(',')?;
+            let reason = reason_part.trim().strip_prefix("reason=")?;
+            if reason.trim().is_empty() {
+                return None;
             }
-        }
-        match name {
+            let rule_name = rule_name.trim().to_string();
+            if !PRAGMA_NAMES.contains(&rule_name.as_str()) {
+                return None;
+            }
+            Some(Pragma {
+                line: *line,
+                rule_name,
+            })
+        })();
+        match ok {
+            Some(p) => pragmas.push(p),
             None => violations.push(Violation {
                 file: file.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::MetricName,
+                line: *line,
+                rule: Rule::BadPragma,
                 message: format!(
-                    "`{emitter}` call without a literal metric name — names must be \
-                     greppable string literals in a registered namespace \
-                     (mapred.* | dfs.* | scheduler.* | probe.*)"
+                    "malformed pragma `{}` — expected \
+                     `clyde-lint: allow(<rule>, reason=...)` with a non-empty reason and \
+                     a rule in {}",
+                    rest,
+                    PRAGMA_NAMES.join("|")
                 ),
             }),
-            Some(n) if !D005_NAMESPACES.iter().any(|p| n.starts_with(p)) => {
-                violations.push(Violation {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    rule: Rule::MetricName,
-                    message: format!(
-                        "metric name `{n}` outside the registered namespaces \
-                         (mapred.* | dfs.* | scheduler.* | probe.*) — register the \
-                         namespace in clyde_lint::D005_NAMESPACES or fix the name"
-                    ),
-                });
-            }
-            Some(n) if n.starts_with("scheduler.") && !D005_SCHEDULER_METRICS.contains(&n) => {
-                violations.push(Violation {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    rule: Rule::MetricName,
-                    message: format!(
-                        "unregistered scheduler series `{n}` — the scheduler.* namespace \
-                         is closed (the CI workload-gate reads it by name); add the \
-                         series to clyde_lint::D005_SCHEDULER_METRICS first"
-                    ),
-                });
-            }
-            Some(_) => {}
         }
     }
+    pragmas
 }
 
-/// Scan one file's source text. `file` is used for allowlisting and
-/// reporting only.
-pub fn scan_source(file: &Path, src: &str) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let (masked, comments) = mask_source(src);
-    let pragmas = parse_pragmas(file, &comments, &mut violations);
-    d001_scan(file, &masked, &mut violations);
-    d002_scan(file, &masked, &mut violations);
-    d003_scan(file, &masked, &mut violations);
-    d004_scan(file, &masked, &mut violations);
-    d005_scan(file, &masked, src, &mut violations);
-    // A pragma suppresses matching violations on its own line and the line
-    // directly below (so it can ride above the offending statement).
+/// A pragma suppresses matching violations on its own line and the line
+/// directly below (so it can ride above the offending statement).
+fn suppress(violations: &mut Vec<Violation>, pragmas: &[Pragma]) {
     violations.retain(|v| {
         v.rule == Rule::BadPragma
             || !pragmas.iter().any(|p| {
                 p.rule_name == v.rule.pragma_name() && (p.line == v.line || p.line + 1 == v.line)
             })
     });
+}
+
+pub(crate) fn rel_allowed(file: &Path, allowlist: &[&str]) -> bool {
+    let norm: String = file
+        .to_string_lossy()
+        .replace('\\', "/")
+        .trim_start_matches("./")
+        .to_string();
+    allowlist.iter().any(|a| norm.ends_with(a))
+}
+
+/// Lex + parse one file into the per-file analysis inputs.
+fn analyze_file(src: &str) -> (Vec<String>, Vec<(usize, String)>, parse::FileAst) {
+    let toks = lexer::lex(src);
+    let masked = lexer::masked_lines(&toks);
+    let comments = lexer::line_comments(&toks);
+    let ast = parse::parse(&toks);
+    (masked, comments, ast)
+}
+
+/// Scan one file's source text. `file` is used for allowlisting and
+/// reporting only. The file is treated as its own crate for D009, so
+/// single-file scans (fixtures, unit tests) exercise the lock graph too.
+pub fn scan_source(file: &Path, src: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (masked, comments, ast) = analyze_file(src);
+    let pragmas = parse_pragmas(file, &comments, &mut violations);
+    let ctx = rules::FileCtx {
+        file,
+        raw: src,
+        masked: &masked,
+        ast: &ast,
+    };
+    rules::run_file(&ctx, &mut violations);
+    violations.extend(rules::d009::scan_crate(&[(
+        &file.to_string_lossy().replace('\\', "/"),
+        &ast,
+    )]));
+    suppress(&mut violations, &pragmas);
     violations.sort();
     violations
 }
@@ -850,14 +377,44 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Scan every covered file under `root`; violations come back sorted by
-/// (file, line) so the report itself is deterministic.
+/// (file, line) so the report itself is deterministic. Unlike
+/// [`scan_source`], D009 runs once per *crate* here, so lock-order edges
+/// are connected across a crate's files through its call graph.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut all = Vec::new();
+    let mut parsed: Vec<(String, parse::FileAst)> = Vec::new();
+    let mut pragmas_by_file: Vec<(String, Vec<Pragma>)> = Vec::new();
     for file in collect_files(root)? {
         let src = std::fs::read_to_string(&file)?;
         let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-        all.extend(scan_source(&rel, &src));
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let (masked, comments, ast) = analyze_file(&src);
+        let mut violations = Vec::new();
+        let pragmas = parse_pragmas(&rel, &comments, &mut violations);
+        let ctx = rules::FileCtx {
+            file: &rel,
+            raw: &src,
+            masked: &masked,
+            ast: &ast,
+        };
+        rules::run_file(&ctx, &mut violations);
+        suppress(&mut violations, &pragmas);
+        all.extend(violations);
+        parsed.push((rel_str.clone(), ast));
+        pragmas_by_file.push((rel_str, pragmas));
     }
+    let mut lock_violations = rules::d009::scan_workspace_groups(&parsed);
+    for (file, pragmas) in &pragmas_by_file {
+        let mut own: Vec<Violation> = lock_violations
+            .iter()
+            .filter(|v| v.file.to_string_lossy().replace('\\', "/") == *file)
+            .cloned()
+            .collect();
+        suppress(&mut own, pragmas);
+        lock_violations.retain(|v| v.file.to_string_lossy().replace('\\', "/") != *file);
+        lock_violations.extend(own);
+    }
+    all.extend(lock_violations);
     all.sort();
     Ok(all)
 }
@@ -929,7 +486,7 @@ mod tests {
         let vs = scan(src);
         assert!(!vs.is_empty());
         assert!(vs.iter().all(|v| v.rule == Rule::Concurrency));
-        let audited = scan_source(Path::new("crates/mapred/src/engine.rs"), src);
+        let audited = scan_source(Path::new("crates/mapred/src/task.rs"), src);
         assert!(audited.is_empty());
     }
 
@@ -1026,5 +583,109 @@ mod tests {
     fn raw_strings_are_masked() {
         let src = "fn f() -> &'static str {\n    r#\"Instant::now Mutex\"#\n}\n";
         assert!(scan(src).is_empty());
+    }
+
+    // ---- v2 structural rules ----
+
+    #[test]
+    fn d006_flags_fold_in_merge_scope_only() {
+        let src = "fn merge(xs: Vec<i64>) -> i64 {\n    xs.iter().fold(0, |a, b| a + b)\n}\n";
+        let in_scope = scan_source(Path::new("crates/core/src/mtrunner.rs"), src);
+        assert_eq!(rules(&in_scope), vec![Rule::FloatOrder]);
+        assert!(scan(src).is_empty(), "neutral files are out of scope");
+    }
+
+    #[test]
+    fn d006_sum_needs_float_evidence() {
+        let int_sum =
+            "fn total(runs: &[Vec<u8>]) -> usize {\n    runs.iter().map(Vec::len).sum()\n}\n";
+        assert!(scan_source(Path::new("crates/mapred/src/shuffle.rs"), int_sum).is_empty());
+        let float_sum = "fn total(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>()\n}\n";
+        assert_eq!(
+            rules(&scan_source(
+                Path::new("crates/mapred/src/shuffle.rs"),
+                float_sum
+            )),
+            vec![Rule::FloatOrder]
+        );
+    }
+
+    #[test]
+    fn d006_flags_float_accumulation_in_loops() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n    let mut acc = 0.0;\n    for x in xs {\n        acc += x;\n    }\n    acc\n}\n";
+        assert_eq!(
+            rules(&scan_source(Path::new("crates/core/src/mtrunner.rs"), src)),
+            vec![Rule::FloatOrder]
+        );
+    }
+
+    #[test]
+    fn d006_pragma_suppresses() {
+        let src = "fn merge(xs: Vec<i64>) -> i64 {\n    // clyde-lint: allow(floatorder, reason=fixed-merge-order, inputs sorted)\n    xs.iter().fold(0, |a, b| a + b)\n}\n";
+        assert!(scan_source(Path::new("crates/core/src/mtrunner.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn d007_flags_panic_sites_in_recovery_scope() {
+        let src = "pub fn heal(xs: &[u8]) -> u8 {\n    let first = xs.first().unwrap();\n    let second = xs[1];\n    panic!(\"no\");\n}\n";
+        let vs = scan_source(Path::new("crates/mapred/src/fault.rs"), src);
+        assert_eq!(vs.len(), 3, "{vs:?}");
+        assert!(vs.iter().all(|v| v.rule == Rule::PanicFree));
+        assert!(scan(src).is_empty(), "neutral files are out of scope");
+    }
+
+    #[test]
+    fn d007_fn_scoped_files_only_audit_named_fns() {
+        let src = "impl E {\n    fn run_job_inner(&self) { self.x.unwrap(); }\n    fn helper(&self) { self.x.unwrap(); }\n}\n";
+        let vs = scan_source(Path::new("crates/mapred/src/engine.rs"), src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, Rule::PanicFree);
+    }
+
+    #[test]
+    fn d007_skips_tests_and_checked_alternatives() {
+        let src = "pub fn heal(x: Option<u8>) -> u8 {\n    x.unwrap_or(0)\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { heal(None); assert_eq!(v[0], 1); v.x.unwrap(); }\n}\n";
+        assert!(scan_source(Path::new("crates/mapred/src/fault.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn d008_flags_wall_flow_into_sinks() {
+        let src = "fn f(m: &Metrics) {\n    let t = WallTimer::start();\n    let spent = t.elapsed_s();\n    m.histogram_record(\"mapred.phase_s\", spent);\n}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::WallTaint]);
+    }
+
+    #[test]
+    fn d008_wall_named_series_are_the_filtered_channel() {
+        let src = "fn f(m: &Metrics, t: &WallTimer) {\n    m.histogram_record(\"mapred.task_wall_ms\", t.elapsed_s() * 1e3);\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn d008_sim_time_values_are_untainted() {
+        let src = "fn f(m: &Metrics, sim_s: f64) {\n    m.histogram_record(\"mapred.task_sim_s\", sim_s);\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn d009_reports_cycles_via_scan_source() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn ab(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n    fn ba(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }\n}\n";
+        let vs = scan_source(Path::new("crates/mapred/src/task.rs"), src);
+        assert_eq!(rules(&vs), vec![Rule::LockGraph], "{vs:?}");
+        assert!(vs[0].message.contains("a -> b -> a"));
+    }
+
+    #[test]
+    fn d009_consistent_order_is_clean() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn ab(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n    fn ab2(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n}\n";
+        assert!(scan_source(Path::new("crates/mapred/src/task.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn new_pragma_names_parse() {
+        for name in ["floatorder", "panicfree", "walltaint", "lockgraph"] {
+            let src =
+                format!("// clyde-lint: allow({name}, reason=covered by a test)\nfn f() {{}}\n");
+            assert!(scan(&src).is_empty(), "{name} pragma should parse");
+        }
     }
 }

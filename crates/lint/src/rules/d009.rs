@@ -1,0 +1,57 @@
+//! D009 `lockgraph`: the static lock-acquisition graph must be acyclic.
+//!
+//! The runtime `clyde_common::lockorder` checker aborts on the first
+//! *observed* inversion — but only on schedules that actually interleave
+//! the two orders. This rule runs the same class-level check over every
+//! order the code could exhibit (see [`crate::graph`] for how guard extents
+//! and the call graph are over-approximated) and fails the lint on any
+//! cycle, whether or not a test schedule ever hits it.
+
+use crate::graph::{analyze_locks, crate_of};
+use crate::parse::FileAst;
+use crate::{Rule, Violation};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Run the lock-graph rule over one crate's parsed files.
+pub(crate) fn scan_crate(files: &[(&str, &FileAst)]) -> Vec<Violation> {
+    let graph = analyze_locks(files);
+    graph
+        .cycles
+        .into_iter()
+        .map(|(path, anchor)| {
+            let via = anchor
+                .via_call
+                .as_ref()
+                .map(|c| format!(" (via call to `{c}`)"))
+                .unwrap_or_default();
+            Violation {
+                file: PathBuf::from(&anchor.file),
+                line: anchor.line,
+                rule: Rule::LockGraph,
+                message: format!(
+                    "static lock-order cycle `{}`{via} — two schedules can acquire these \
+                     classes in opposite orders and deadlock; pick one global order (or \
+                     drop the first guard before taking the second)",
+                    path.join(" -> ")
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Group parsed workspace files by crate and run [`scan_crate`] on each.
+pub(crate) fn scan_workspace_groups(files: &[(String, FileAst)]) -> Vec<Violation> {
+    let mut by_crate: BTreeMap<String, Vec<(&str, &FileAst)>> = BTreeMap::new();
+    for (path, ast) in files {
+        by_crate
+            .entry(crate_of(path))
+            .or_default()
+            .push((path.as_str(), ast));
+    }
+    let mut out = Vec::new();
+    for group in by_crate.values() {
+        out.extend(scan_crate(group));
+    }
+    out
+}

@@ -249,7 +249,10 @@ impl MapTaskEnv<'_> {
                 candidates // single live node: retry in place
             }
         };
-        Ok(pool[(attempt as usize - 1) % pool.len()])
+        let k = (attempt as usize).saturating_sub(1) % pool.len().max(1);
+        pool.get(k)
+            .copied()
+            .ok_or_else(|| ClydeError::MapReduce("no candidate node for retry".into()))
     }
 }
 
@@ -370,7 +373,10 @@ impl Engine {
 
         let mut tasks_by_node: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, node) in assignment.iter().enumerate() {
-            tasks_by_node[node.0].push(i);
+            let bucket = tasks_by_node.get_mut(node.0).ok_or_else(|| {
+                ClydeError::MapReduce(format!("task assigned to unknown node {}", node.0))
+            })?;
+            bucket.push(i);
         }
 
         // --- Map phase, first wave: one worker thread per node. Failures
@@ -393,7 +399,7 @@ impl Engine {
                 let env = &env;
                 let outputs = &outputs;
                 let failures = &failures;
-                let death = death_times[node_idx];
+                let death = death_times.get(node_idx).copied().flatten();
                 scope.spawn(move || {
                     let mut sim_elapsed = 0.0f64;
                     let mut down = false;
@@ -434,7 +440,9 @@ impl Engine {
                                     }
                                 }
                                 sim_elapsed += dur;
-                                *outputs[task_idx].lock() = Some(out);
+                                if let Some(slot) = outputs.get(task_idx) {
+                                    *slot.lock() = Some(out);
+                                }
                             }
                             Err(e) => failures.lock().push((task_idx, node, e)),
                         }
@@ -456,7 +464,9 @@ impl Engine {
                 let node = NodeId(i);
                 self.dfs.kill_node(node);
                 dead_nodes.push(node);
-                blacklisted[i] = true;
+                if let Some(b) = blacklisted.get_mut(i) {
+                    *b = true;
+                }
             }
         }
         if dead_nodes.len() < n {
@@ -464,10 +474,10 @@ impl Engine {
             // the retry path below report the job-level failure instead.
             if !dead_nodes.is_empty() {
                 rereplicated_blocks = self.dfs.rereplicate()? as u64;
-                for (i, s) in splits.iter().enumerate() {
+                for (s, slot) in splits.iter().zip(retry_hosts.iter_mut()) {
                     if let SplitSpec::FileRange { path, .. } = &s.spec {
                         if let Ok(hosts) = self.dfs.hosts(path) {
-                            retry_hosts[i] = hosts;
+                            *slot = hosts;
                         }
                     }
                 }
@@ -479,9 +489,14 @@ impl Engine {
         let mut failed_attempts = 0u32;
         let note_failure =
             |node_failures: &mut Vec<u32>, blacklisted: &mut Vec<bool>, node: NodeId| {
-                node_failures[node.0] += 1;
-                if node_failures[node.0] >= BLACKLIST_AFTER_FAILURES {
-                    blacklisted[node.0] = true;
+                let Some(count) = node_failures.get_mut(node.0) else {
+                    return;
+                };
+                *count += 1;
+                if *count >= BLACKLIST_AFTER_FAILURES {
+                    if let Some(b) = blacklisted.get_mut(node.0) {
+                        *b = true;
+                    }
                 }
             };
         let mut failures = failures.into_inner();
@@ -494,14 +509,13 @@ impl Engine {
             note_failure(&mut node_failures, &mut blacklisted, first_node);
             let mut done = false;
             let mut prev_node = first_node;
+            let task_hosts = retry_hosts
+                .get(task_idx)
+                .map(Vec::as_slice)
+                .unwrap_or_default();
             for attempt in 1..max_attempts {
-                let node = env.retry_node(
-                    task_idx,
-                    prev_node,
-                    attempt,
-                    &retry_hosts[task_idx],
-                    &blacklisted,
-                )?;
+                let node =
+                    env.retry_node(task_idx, prev_node, attempt, task_hosts, &blacklisted)?;
                 if let Some(err) = env.injected_failure(task_idx, attempt) {
                     failed_attempts += 1;
                     note_failure(&mut node_failures, &mut blacklisted, node);
@@ -511,7 +525,9 @@ impl Engine {
                 }
                 match env.exec(task_idx, node) {
                     Ok(out) => {
-                        *outputs[task_idx].lock() = Some(out);
+                        if let Some(slot) = outputs.get(task_idx) {
+                            *slot.lock() = Some(out);
+                        }
                         done = true;
                         break;
                     }
@@ -540,43 +556,48 @@ impl Engine {
         let mut speculative_attempts = 0u32;
         let mut speculative_wins = 0u32;
         let mut killed_attempts: Vec<KilledAttempt> = Vec::new();
-        let speculate =
-            faults.is_some_and(|f| f.speculative_slowdown.is_finite()) && splits.len() >= 2;
-        if speculate {
-            let slowdown = faults
-                .expect("speculate requires a plan")
-                .speculative_slowdown;
-            let durs: Vec<f64> = outputs
-                .iter()
-                .map(|o| {
-                    let g = o.lock();
-                    let out = g.as_ref().expect("all map tasks committed by now");
-                    env.sim_duration(&out.cost, out.node)
-                })
-                .collect();
+        let spec_plan = if splits.len() >= 2 {
+            faults.filter(|f| f.speculative_slowdown.is_finite())
+        } else {
+            None
+        };
+        if let Some(plan) = spec_plan {
+            let slowdown = plan.speculative_slowdown;
+            let mut durs: Vec<f64> = Vec::with_capacity(outputs.len());
+            for o in &outputs {
+                let g = o.lock();
+                let out = g.as_ref().ok_or_else(|| {
+                    ClydeError::MapReduce("speculation ran before all map outputs committed".into())
+                })?;
+                durs.push(env.sim_duration(&out.cost, out.node));
+            }
             let mut sorted = durs.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are not NaN"));
-            let median = sorted[sorted.len() / 2];
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
             // The detector fires once the original has run for `threshold`
             // simulated seconds — that is also when the backup launches.
             let threshold = slowdown * median;
-            for idx in 0..splits.len() {
-                if durs[idx] <= threshold + 1e-9 {
+            for (idx, &orig_dur) in durs.iter().enumerate() {
+                if orig_dur <= threshold + 1e-9 {
                     continue;
                 }
-                let orig_node = outputs[idx]
-                    .lock()
-                    .as_ref()
-                    .expect("straggler committed")
-                    .node;
+                let Some(orig_node) = outputs
+                    .get(idx)
+                    .and_then(|o| o.lock().as_ref().map(|t| t.node))
+                else {
+                    continue;
+                };
                 // Backup runs on the fastest live, non-blacklisted other node.
                 let backup = (0..n)
                     .map(NodeId)
-                    .filter(|c| *c != orig_node && !blacklisted[c.0] && self.dfs.is_node_alive(*c))
+                    .filter(|c| {
+                        *c != orig_node
+                            && blacklisted.get(c.0).is_some_and(|b| !b)
+                            && self.dfs.is_node_alive(*c)
+                    })
                     .min_by(|a, b| {
                         env.slow_factor(*a)
-                            .partial_cmp(&env.slow_factor(*b))
-                            .expect("slow factors are not NaN")
+                            .total_cmp(&env.slow_factor(*b))
                             .then(a.0.cmp(&b.0))
                     });
                 let Some(backup) = backup else { continue };
@@ -585,9 +606,11 @@ impl Engine {
                     Ok(mut bout) => {
                         let backup_dur = env.sim_duration(&bout.cost, backup);
                         let backup_finish = threshold + backup_dur;
-                        let orig_dur = durs[idx];
-                        let mut slot = outputs[idx].lock();
-                        let orig = slot.take().expect("straggler committed");
+                        let Some(slot_cell) = outputs.get(idx) else {
+                            continue;
+                        };
+                        let mut slot = slot_cell.lock();
+                        let Some(orig) = slot.take() else { continue };
                         if backup_finish + 1e-9 < orig_dur {
                             // Backup wins the race; the original is killed
                             // after `backup_finish` seconds of occupancy.
@@ -684,7 +707,11 @@ impl Engine {
                 }
             }
         } else {
-            let reducer = spec.reducer.as_ref().expect("reduce path requires reducer");
+            let Some(reducer) = spec.reducer.as_ref() else {
+                return Err(ClydeError::MapReduce(
+                    "reduce phase without a reducer".into(),
+                ));
+            };
             let num_reducers = spec.num_reducers.max(1);
             // Partition every task's sorted output.
             type SortedRun = Vec<(Vec<u8>, Row)>;
@@ -693,12 +720,18 @@ impl Engine {
                 let mut per_part: Vec<SortedRun> = (0..num_reducers).map(|_| Vec::new()).collect();
                 for (k, v) in std::mem::take(&mut t.records) {
                     let p = shuffle::partition_of(&k, num_reducers);
+                    let bucket = per_part.get_mut(p).ok_or_else(|| {
+                        ClydeError::MapReduce(format!("partition {p} out of range"))
+                    })?;
                     shuffle_bytes += (k.len() + v.heap_size()) as u64;
-                    per_part[p].push((k, v));
+                    bucket.push((k, v));
                 }
                 for (p, run) in per_part.into_iter().enumerate() {
-                    if !run.is_empty() {
-                        runs[p].push(run);
+                    if run.is_empty() {
+                        continue;
+                    }
+                    if let Some(dest) = runs.get_mut(p) {
+                        dest.push(run);
                     }
                 }
             }
@@ -720,7 +753,7 @@ impl Engine {
                 .collect();
             for (r, node) in reduce_nodes.iter().enumerate() {
                 let wall_start = WallTimer::start();
-                let task_runs = std::mem::take(&mut runs[r]);
+                let task_runs = runs.get_mut(r).map(std::mem::take).unwrap_or_default();
                 let mut cost = TaskCost::new();
                 cost.merge_runs = task_runs.len() as u64;
                 let merged = shuffle::merge_sorted_runs(task_runs);

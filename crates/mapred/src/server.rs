@@ -240,8 +240,7 @@ impl<'e> JobServer<'e> {
         // Phase 3: publish, in submission order (deterministic).
         let mut served = Vec::with_capacity(subs.len());
         let mut lanes = Vec::with_capacity(subs.len());
-        for (i, ((result, io), sub)) in executed.into_iter().zip(&subs).enumerate() {
-            let sched = &schedules[i];
+        for (((result, io), sub), sched) in executed.into_iter().zip(&subs).zip(&schedules) {
             if self.engine.obs().is_enabled() {
                 let hist = history::job_history_scheduled(
                     &result.profile,

@@ -110,6 +110,28 @@ fn q21_invariant_across_host_thread_counts() {
     }
 }
 
+/// The `floatorder` pragmas in `crates/core/src/mtrunner.rs` rest on one
+/// claim: thread partials merge in ascending first-morsel order (the runner
+/// sorts them before folding), so the fold sequence is a function of the
+/// input alone, never of thread scheduling. One host thread *is* input
+/// order; odd thread counts tile the morsels unevenly and would expose any
+/// schedule-order merge. Byte-compare them.
+#[test]
+fn merge_order_is_input_order_not_schedule_order() {
+    let reference = run_q21(Some(1));
+    for t in [3u32, 5, 13] {
+        let b = run_q21(Some(t));
+        assert_eq!(
+            reference.rows, b.rows,
+            "merge order leaked into results at {t} threads"
+        );
+        assert_eq!(
+            reference.profile_json, b.profile_json,
+            "merge order leaked into profiles at {t} threads"
+        );
+    }
+}
+
 #[test]
 fn q21_dual_run_is_byte_identical() {
     let first = run_q21(None);

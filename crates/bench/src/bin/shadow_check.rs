@@ -27,9 +27,15 @@
 //! interleaving* is byte-identical too: every served query's rows, the
 //! server-run swimlanes in the Chrome trace, and the `scheduler.*`
 //! metrics.
+//!
+//! `--restore` replays the cold-then-warm stream of `clyde_bench::restore`
+//! with the result cache on — the same dual-run and host-thread sweep over
+//! both passes, proving the cache is thread-count invariant: every served
+//! query's rows (cold and warm), the served-from-cache spans in the trace,
+//! and the `cache.*` hit/miss/evict/bytes metrics.
 
 use clyde_bench::harness::{measurement_cluster, MeasurementConfig};
-use clyde_bench::workload;
+use clyde_bench::{restore, workload};
 use clyde_common::{Obs, Result};
 use clyde_dfs::{ColocatingPlacement, Dfs, DfsOptions};
 use clyde_mapred::SchedPolicy;
@@ -125,6 +131,24 @@ fn run_workload_once(config: &MeasurementConfig, host_threads: Option<u32>) -> R
     })
 }
 
+/// One cold-then-warm replay against the result cache, reduced to the
+/// same three artifacts: all served rows (cold pass then warm pass, in
+/// submission order), the trace (including the served-from-cache spans),
+/// and the metrics snapshot including the `cache.*` series.
+fn run_restore_once(config: &MeasurementConfig, host_threads: Option<u32>) -> Result<Artifacts> {
+    let obs = Obs::enabled();
+    let report = restore::run(config.sf, config.seed, Some(Arc::clone(&obs)), host_threads)?;
+    let mut results = Vec::new();
+    for s in report.cold.run.served.iter().chain(&report.warm.run.served) {
+        results.extend_from_slice(&clyde_common::rowcodec::write_rows(&s.rows));
+    }
+    Ok(Artifacts {
+        results,
+        trace: obs.chrome_trace(),
+        metrics: filter_wall(&obs.metrics().snapshot().render()),
+    })
+}
+
 /// Compare `got` against `want`; report which artifact diverged.
 fn diff(label: &str, want: &Artifacts, got: &Artifacts) -> bool {
     let mut ok = true;
@@ -161,7 +185,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: shadow_check [measurement-sf] [--seed <n>] [--queries <id,id,...>] [--workload]"
+        "usage: shadow_check [measurement-sf] [--seed <n>] [--queries <id,id,...>] \
+         [--workload] [--restore]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -178,6 +203,7 @@ fn main() -> ExitCode {
     };
     let mut query_ids = vec!["Q1.1".to_string(), "Q2.1".to_string()];
     let mut workload_mode = false;
+    let mut restore_mode = false;
     let mut sf_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -191,6 +217,7 @@ fn main() -> ExitCode {
                 None => usage("--queries needs a comma-separated list"),
             },
             "--workload" => workload_mode = true,
+            "--restore" => restore_mode = true,
             "--help" | "-h" => usage(""),
             other => match other.parse::<f64>() {
                 Ok(v) if v > 0.0 => {
@@ -202,13 +229,18 @@ fn main() -> ExitCode {
         }
     }
 
-    if workload_mode {
-        // The workload replays 23 jobs per run; default to the workload
-        // bench's own scale factor unless one was given explicitly.
+    if workload_mode || restore_mode {
+        // These modes replay the full 31-job stream per run; default to
+        // the workload bench's own scale factor unless one was given
+        // explicitly.
         if !sf_given {
             config.sf = 0.005;
         }
-        return check_workload(&config);
+        return if restore_mode {
+            check_restore(&config)
+        } else {
+            check_workload(&config)
+        };
     }
 
     let mut failed = false;
@@ -307,6 +339,58 @@ fn check_workload(config: &MeasurementConfig) -> ExitCode {
     } else {
         println!(
             "shadow_check: OK — concurrent workload byte-identical across reruns and thread counts"
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `--restore` mode: dual-run the cold-then-warm cached replay, then
+/// sweep the host thread count — the result cache (hits, fills, evictions,
+/// `cache.*` metrics, served-from-cache spans) must be byte-identical
+/// everywhere.
+fn check_restore(config: &MeasurementConfig) -> ExitCode {
+    let mut failed = false;
+    let baseline = match run_restore_once(config, None) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("shadow_check: restore baseline run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_restore_once(config, None) {
+        Ok(shadow) => {
+            if diff("restore rerun", &baseline, &shadow) {
+                println!("shadow_check: OK restore: dual run byte-identical");
+            } else {
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("shadow_check: restore shadow run failed: {e}");
+            failed = true;
+        }
+    }
+    for t in THREAD_COUNTS {
+        match run_restore_once(config, Some(t)) {
+            Ok(shadow) => {
+                if diff(&format!("restore host-threads={t}"), &baseline, &shadow) {
+                    println!("shadow_check: OK restore: host-threads={t} byte-identical");
+                } else {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("shadow_check: restore host-threads={t} run failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "shadow_check: OK — cached cold/warm replay byte-identical across reruns \
+             and thread counts"
         );
         ExitCode::SUCCESS
     }

@@ -22,4 +22,5 @@ pub mod harness;
 pub mod paper;
 pub mod profdiff;
 pub mod report;
+pub mod restore;
 pub mod workload;

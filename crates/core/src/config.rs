@@ -77,6 +77,30 @@ impl Features {
         Features::default()
     }
 
+    /// Stable identity string for plan fingerprints (result-cache code
+    /// tokens): one character per feature bit, in declaration order.
+    /// Execution-only bits participate too — results are invariant across
+    /// them, so including them can only cost a cache miss, never serve a
+    /// wrong answer.
+    pub fn token_bits(&self) -> String {
+        [
+            self.columnar,
+            self.block_iteration,
+            self.multithreading,
+            self.jvm_reuse,
+            self.vectorized,
+            self.zone_skipping,
+            self.morsel,
+            self.dict_predicates,
+            self.simd_compaction,
+            self.prefetch,
+            self.zone_fullcover,
+        ]
+        .iter()
+        .map(|b| if *b { '1' } else { '0' })
+        .collect()
+    }
+
     pub fn without_columnar() -> Features {
         Features {
             columnar: false,

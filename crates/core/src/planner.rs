@@ -176,6 +176,10 @@ pub fn plan_query(
     spec.num_reducers = cluster.total_reduce_slots().max(1) as usize;
     spec.output = OutputSpec::Memory;
     spec.reuse_jvm = features.jvm_reuse;
+    // Result-cache identity: the conf is empty for Clydesdale plans, so the
+    // token must carry everything that shapes the output — the query and
+    // the feature flags (which also shape the split list via zone pruning).
+    spec.code_token = format!("clyde:{}:{}:v1", query.id, features.token_bits());
     if features.multithreading {
         // Mark the task as consuming the whole node's memory so the capacity
         // scheduler admits exactly one per node (Section 5.2), and let it

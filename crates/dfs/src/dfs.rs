@@ -1,6 +1,7 @@
 //! The distributed-filesystem facade.
 
 use crate::block::{block_checksum, BlockId, BlockMeta};
+use crate::cache::{CacheCatalog, CacheEntry, CacheStats};
 use crate::datanode::Datanode;
 use crate::metrics::{IoMetrics, IoSnapshot, ScanStats};
 use crate::namenode::{FileEntry, Namenode};
@@ -57,6 +58,10 @@ pub struct Dfs {
     policy: Box<dyn BlockPlacementPolicy>,
     state: RwLock<State>,
     metrics: IoMetrics,
+    /// The result-cache catalog (ReStore-style job-output reuse). The
+    /// catalog itself is plain data in [`crate::cache`]; this is the one
+    /// lock guarding it, never held across a namespace operation.
+    cache: RwLock<CacheCatalog>,
 }
 
 impl Dfs {
@@ -75,6 +80,7 @@ impl Dfs {
                 namenode: Namenode::new(),
                 datanodes,
             }),
+            cache: RwLock::new(CacheCatalog::new()),
         })
     }
 
@@ -388,6 +394,26 @@ impl Dfs {
     }
 
     pub fn delete(&self, path: &str) -> Result<()> {
+        self.delete_raw(path)?;
+        // Result-cache coherence hook: dropping a file invalidates every
+        // cached entry that fingerprinted it as an input (fact-partition
+        // roll-out) or persisted it as an output. Those entries' remaining
+        // output files become garbage; deleting them cascades through the
+        // same hook via a worklist (never recursion, never nested locks).
+        let mut worklist = self.cache.write().invalidate_path(path);
+        while let Some(p) = worklist.pop() {
+            if self.exists(&p) {
+                self.delete_raw(&p)?;
+            }
+            let more = self.cache.write().invalidate_path(&p);
+            worklist.extend(more);
+        }
+        Ok(())
+    }
+
+    /// Remove a file from the namespace and free its blocks, without
+    /// touching the result cache.
+    fn delete_raw(&self, path: &str) -> Result<()> {
         let mut state = self.state.write();
         let blocks = state.namenode.delete(path)?;
         for b in blocks {
@@ -396,6 +422,48 @@ impl Dfs {
             }
         }
         Ok(())
+    }
+
+    // ---- Result cache (ReStore-style job-output reuse) ----
+
+    /// Set the result-cache capacity budget in bytes; 0 (the default)
+    /// disables the cache entirely.
+    pub fn cache_configure(&self, capacity_bytes: u64) {
+        self.cache.write().set_capacity(capacity_bytes);
+    }
+
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.read().enabled()
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.read().stats()
+    }
+
+    /// Look up a fingerprint in the catalog, bumping its LRU recency.
+    pub fn cache_lookup(&self, fingerprint: u64) -> Option<CacheEntry> {
+        self.cache.write().lookup(fingerprint)
+    }
+
+    /// Admit a cached entry, evicting least-recently-used unpinned entries
+    /// under the capacity budget and deleting their backing files. Returns
+    /// whether the entry was admitted — callers persist the output bytes
+    /// only on `true`.
+    pub fn cache_insert(&self, entry: CacheEntry) -> Result<bool> {
+        let fp = entry.fingerprint;
+        let freed = self.cache.write().insert(entry);
+        for p in freed {
+            if self.exists(&p) {
+                self.delete(&p)?;
+            }
+        }
+        Ok(self.cache.read().contains(fp))
+    }
+
+    /// Pin or unpin a cached entry; pinned entries are never evicted.
+    /// Returns whether the entry exists.
+    pub fn cache_pin(&self, fingerprint: u64, pinned: bool) -> bool {
+        self.cache.write().set_pinned(fingerprint, pinned)
     }
 
     pub fn list(&self, prefix: &str) -> Vec<String> {
@@ -696,6 +764,68 @@ mod tests {
         dfs.write_file("/empty", None, b"").unwrap();
         assert_eq!(dfs.read_file("/empty", None).unwrap().len(), 0);
         assert_eq!(dfs.status("/empty").unwrap().num_blocks, 1);
+    }
+
+    fn cache_entry(fp: u64, out: &str, bytes: u64, inputs: &[&str]) -> CacheEntry {
+        CacheEntry {
+            fingerprint: fp,
+            output_paths: vec![out.to_string()],
+            bytes,
+            memory_rows: None,
+            input_paths: inputs.iter().map(|s| s.to_string()).collect(),
+            last_used: 0,
+            pinned: false,
+        }
+    }
+
+    #[test]
+    fn delete_hook_invalidates_and_cascades() {
+        let dfs = small_dfs(3, 2, 1024);
+        dfs.cache_configure(1 << 20);
+        dfs.write_file("/fact/p0", None, &[1u8; 64]).unwrap();
+        dfs.write_file("/cache/a/rows.bin", None, &[2u8; 32])
+            .unwrap();
+        dfs.write_file("/cache/b/rows.bin", None, &[3u8; 32])
+            .unwrap();
+        dfs.cache_insert(cache_entry(0xa, "/cache/a/rows.bin", 32, &["/fact/p0"]))
+            .unwrap();
+        // Entry b consumed a's cached output (a chained stage).
+        dfs.cache_insert(cache_entry(
+            0xb,
+            "/cache/b/rows.bin",
+            32,
+            &["/cache/a/rows.bin"],
+        ))
+        .unwrap();
+        assert!(dfs.cache_lookup(0xa).is_some());
+        // Rolling out the fact partition invalidates a, deletes its cached
+        // file, and cascades to b which consumed it.
+        dfs.delete("/fact/p0").unwrap();
+        assert!(dfs.cache_lookup(0xa).is_none());
+        assert!(dfs.cache_lookup(0xb).is_none());
+        assert!(!dfs.exists("/cache/a/rows.bin"));
+        assert!(!dfs.exists("/cache/b/rows.bin"));
+        let s = dfs.cache_stats();
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(s.bytes_stored, 0);
+    }
+
+    #[test]
+    fn cache_eviction_deletes_backing_files() {
+        let dfs = small_dfs(3, 2, 1024);
+        dfs.cache_configure(64);
+        dfs.write_file("/cache/a/rows.bin", None, &[1u8; 40])
+            .unwrap();
+        dfs.cache_insert(cache_entry(0xa, "/cache/a/rows.bin", 40, &[]))
+            .unwrap();
+        dfs.write_file("/cache/b/rows.bin", None, &[2u8; 40])
+            .unwrap();
+        dfs.cache_insert(cache_entry(0xb, "/cache/b/rows.bin", 40, &[]))
+            .unwrap();
+        assert!(!dfs.exists("/cache/a/rows.bin"));
+        assert!(dfs.exists("/cache/b/rows.bin"));
+        assert_eq!(dfs.cache_stats().evictions, 1);
+        assert_eq!(dfs.cache_stats().entries, 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! is reproduced by the cost model in `clyde-mapred`, not by physical I/O.
 
 pub mod block;
+pub mod cache;
 pub mod datanode;
 pub mod dfs;
 pub mod local;
@@ -30,6 +31,7 @@ pub mod testdfsio;
 pub mod topology;
 
 pub use block::{BlockId, BlockMeta};
+pub use cache::{CacheCatalog, CacheEntry, CacheStats};
 pub use dfs::{Dfs, DfsOptions, DfsWriter, FileStatus};
 pub use local::NodeLocalStore;
 pub use metrics::{IoMetrics, IoScope, IoSnapshot, ScanStats};

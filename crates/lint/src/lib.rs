@@ -22,8 +22,9 @@
 //! * **D004 `concurrency`** — concurrency primitives only in the audited
 //!   modules ([`D004_AUDITED`]); task code paths stay lock-free.
 //! * **D005 `metricname`** — metric names are string literals in registered
-//!   namespaces ([`D005_NAMESPACES`]); `scheduler.*` is a closed registry
-//!   ([`D005_SCHEDULER_METRICS`]).
+//!   namespaces ([`D005_NAMESPACES`]); `scheduler.*` and `cache.*` are
+//!   closed registries ([`D005_SCHEDULER_METRICS`],
+//!   [`D005_CACHE_METRICS`]).
 //! * **D006 `floatorder`** — non-associative float reductions in the
 //!   merge-scope files ([`rules::d006::D006_MERGE_SCOPE`]) must pin their
 //!   fold order or carry a reasoned pragma.
@@ -201,7 +202,7 @@ pub const D004_AUDITED: &[&str] = &[
 ];
 
 /// Namespaces a literal metric name may live in (D005).
-pub const D005_NAMESPACES: [&str; 4] = ["mapred.", "dfs.", "scheduler.", "probe."];
+pub const D005_NAMESPACES: [&str; 5] = ["mapred.", "dfs.", "scheduler.", "probe.", "cache."];
 
 /// Files exempt from D005: the metrics registry itself (defines the
 /// emitters and unit-tests them with throwaway names).
@@ -222,6 +223,21 @@ pub const D005_SCHEDULER_METRICS: [&str; 9] = [
     "scheduler.makespan_s",
     "scheduler.queue_wait_s",
     "scheduler.job_latency_s",
+];
+
+/// The closed set of `cache.*` series (the result-cache surface). Like the
+/// scheduler registry, these are a gate surface — the `restore-gate` CI job
+/// and `shadow_check --restore` compare them byte-for-byte — so every
+/// `cache.` literal must match this registry exactly.
+pub const D005_CACHE_METRICS: [&str; 8] = [
+    "cache.hits",
+    "cache.misses",
+    "cache.evictions",
+    "cache.invalidations",
+    "cache.inserts",
+    "cache.bytes_served",
+    "cache.bytes_stored",
+    "cache.entries",
 ];
 
 /// A parsed `allow(rule, reason=...)` suppression pragma.
@@ -526,6 +542,7 @@ mod tests {
             "crates/mapred/src/server.rs",
             "crates/mapred/src/scheduler.rs",
             "crates/core/src/server.rs",
+            "crates/dfs/src/cache.rs",
         ] {
             assert!(
                 !rel_allowed(Path::new(rel), D004_AUDITED),
@@ -552,6 +569,18 @@ mod tests {
     #[test]
     fn d005_accepts_registered_scheduler_series() {
         let src = "fn f(m: &Metrics) {\n    m.counter_add(\"scheduler.jobs_admitted\", 1);\n    m.gauge_set(\"scheduler.queue_peak_depth\", 3.0);\n    m.histogram_record(\"scheduler.queue_wait_s\", 0.5);\n    m.histogram_record(\"scheduler.job_latency_s\", 1.5);\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn d005_flags_unregistered_cache_series() {
+        let src = "fn f(m: &Metrics) {\n    m.counter_add(\"cache.size\", 1);\n}\n";
+        assert_eq!(rules(&scan(src)), vec![Rule::MetricName]);
+    }
+
+    #[test]
+    fn d005_accepts_registered_cache_series() {
+        let src = "fn f(m: &Metrics) {\n    m.counter_add(\"cache.hits\", 1);\n    m.counter_add(\"cache.misses\", 2);\n    m.counter_add(\"cache.bytes_served\", 64);\n    m.gauge_set(\"cache.bytes_stored\", 128.0);\n    m.gauge_set(\"cache.entries\", 2.0);\n}\n";
         assert!(scan(src).is_empty());
     }
 

@@ -3,8 +3,8 @@
 
 use super::FileCtx;
 use crate::{
-    rel_allowed, Rule, Violation, D002_ALLOWED, D004_AUDITED, D005_ALLOWED, D005_NAMESPACES,
-    D005_SCHEDULER_METRICS,
+    rel_allowed, Rule, Violation, D002_ALLOWED, D004_AUDITED, D005_ALLOWED, D005_CACHE_METRICS,
+    D005_NAMESPACES, D005_SCHEDULER_METRICS,
 };
 
 pub(crate) fn is_ident_char(c: char) -> bool {
@@ -329,7 +329,7 @@ pub(crate) fn d005_scan(ctx: &FileCtx<'_>, violations: &mut Vec<Violation>) {
                 message: format!(
                     "`{emitter}` call without a literal metric name — names must be \
                      greppable string literals in a registered namespace \
-                     (mapred.* | dfs.* | scheduler.* | probe.*)"
+                     (mapred.* | dfs.* | scheduler.* | probe.* | cache.*)"
                 ),
             }),
             Some(n) if !D005_NAMESPACES.iter().any(|p| n.starts_with(p)) => {
@@ -339,8 +339,8 @@ pub(crate) fn d005_scan(ctx: &FileCtx<'_>, violations: &mut Vec<Violation>) {
                     rule: Rule::MetricName,
                     message: format!(
                         "metric name `{n}` outside the registered namespaces \
-                         (mapred.* | dfs.* | scheduler.* | probe.*) — register the \
-                         namespace in clyde_lint::D005_NAMESPACES or fix the name"
+                         (mapred.* | dfs.* | scheduler.* | probe.* | cache.*) — register \
+                         the namespace in clyde_lint::D005_NAMESPACES or fix the name"
                     ),
                 });
             }
@@ -353,6 +353,18 @@ pub(crate) fn d005_scan(ctx: &FileCtx<'_>, violations: &mut Vec<Violation>) {
                         "unregistered scheduler series `{n}` — the scheduler.* namespace \
                          is closed (the CI workload-gate reads it by name); add the \
                          series to clyde_lint::D005_SCHEDULER_METRICS first"
+                    ),
+                });
+            }
+            Some(n) if n.starts_with("cache.") && !D005_CACHE_METRICS.contains(&n) => {
+                violations.push(Violation {
+                    file: ctx.file.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::MetricName,
+                    message: format!(
+                        "unregistered cache series `{n}` — the cache.* namespace is \
+                         closed (the CI restore-gate and shadow_check --restore read it \
+                         by name); add the series to clyde_lint::D005_CACHE_METRICS first"
                     ),
                 });
             }

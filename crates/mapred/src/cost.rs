@@ -426,6 +426,28 @@ pub struct JobCost {
     pub overhead_s: f64,
 }
 
+/// Fixed client-side cost of a cache hit: the catalog lookup plus the
+/// metadata round-trip that replaces job submission. Deliberately far below
+/// `job_overhead_s` — serving a stage from the result cache skips the
+/// JobTracker entirely.
+pub const CACHED_READ_OVERHEAD_S: f64 = 0.5;
+
+impl CostParams {
+    /// Price a stage served from the DFS result cache: no tasks, no shuffle,
+    /// just a sequential read of the persisted output at the node's
+    /// effective HDFS read bandwidth plus a small fixed lookup overhead.
+    pub fn cached_read_cost(&self, cluster: &ClusterSpec, bytes: u64) -> JobCost {
+        JobCost {
+            setup_s: 0.0,
+            map_s: 0.0,
+            shuffle_s: 0.0,
+            reduce_s: 0.0,
+            overhead_s: CACHED_READ_OVERHEAD_S
+                + bytes as f64 / self.hdfs.effective_read_bw(&cluster.node),
+        }
+    }
+}
+
 impl JobCost {
     pub fn total_s(&self) -> f64 {
         self.setup_s + self.map_s + self.shuffle_s + self.reduce_s + self.overhead_s

@@ -26,9 +26,10 @@ use crate::task::{
     MapOutputBuffer, MapTaskContext, MemoryLedger, MemoryTracker, NodeState, TaskIo,
 };
 use clyde_common::lockorder::Mutex;
-use clyde_common::obs::{Obs, Phase, TaskKind, WallTimer};
+use clyde_common::obs::{Obs, Phase, SpanKind, TaskKind, WallTimer};
 use clyde_common::{keycodec, rowcodec, ClydeError, Result, Row};
-use clyde_dfs::{ClusterSpec, Dfs, IoSnapshot, NodeId, NodeLocalStore};
+use clyde_dfs::IoScope;
+use clyde_dfs::{CacheEntry, ClusterSpec, Dfs, IoSnapshot, NodeId, NodeLocalStore};
 use std::sync::Arc;
 
 /// A node is blacklisted for further retries once this many of its attempts
@@ -341,6 +342,20 @@ impl Engine {
             }
         }
         let splits = spec.input.splits(&self.dfs, &spec.conf)?;
+        // Result-cache probe (ReStore-style reuse): jobs that carry a
+        // code-identity token fingerprint their resolved inputs, and a
+        // catalog hit replaces the whole execution with a metadata-only
+        // read of the persisted output, priced as a DFS scan.
+        let fingerprint = if self.dfs.cache_enabled() {
+            crate::fingerprint::job_fingerprint(spec, &splits)
+        } else {
+            None
+        };
+        if let Some(fp) = fingerprint {
+            if let Some(entry) = self.dfs.cache_lookup(fp) {
+                return self.serve_from_cache(spec, &entry, &cluster, &io_scope, publish);
+            }
+        }
         let concurrency = scheduler::concurrency_per_node(&cluster, spec.declared_task_memory);
         let assignment = scheduler::assign_map_tasks(&splits, &cluster);
         let threads = spec.task_threads.unwrap_or(1).max(1);
@@ -813,10 +828,15 @@ impl Engine {
             },
         };
         let cost = profile.price(&self.params, &cluster)?;
+        // Result-cache fill: persist this job's output under its fingerprint
+        // so an identical future submission is served without running tasks.
+        if let Some(fp) = fingerprint {
+            self.cache_fill(spec, fp, &splits, &rows, &output_files)?;
+        }
         let io = io_scope.as_ref().map(|s| s.delta());
         if publish && self.obs.is_enabled() {
             let hist = history::job_history(&profile, &cost, &self.params, &cluster);
-            publish_history(&self.obs, &profile, hist, io.as_ref());
+            publish_history(&self.obs, &profile, hist, io.as_ref(), false);
         }
         Ok((
             JobResult {
@@ -825,9 +845,131 @@ impl Engine {
                 profile,
                 cost,
                 locality,
+                served_from_cache: false,
+                fingerprint,
             },
             io,
         ))
+    }
+
+    /// Materialize a cache hit: read the persisted output back (memory jobs)
+    /// or point downstream readers at the cached files (DFS-dir jobs), with
+    /// a synthetic zero-task profile priced as a sequential DFS read.
+    fn serve_from_cache(
+        &self,
+        spec: &JobSpec,
+        entry: &CacheEntry,
+        cluster: &ClusterSpec,
+        io_scope: &Option<IoScope<'_>>,
+        publish: bool,
+    ) -> Result<(JobResult, Option<IoSnapshot>)> {
+        let mut rows = Vec::new();
+        let mut output_files = Vec::new();
+        match &spec.output {
+            OutputSpec::Memory => {
+                // Each cached file is its own row-binary stream; decode
+                // per-file (a concatenation is not a valid single stream).
+                for p in &entry.output_paths {
+                    let bytes = self.dfs.read_file(p, None)?;
+                    rows.extend(rowcodec::read_rows(&bytes)?);
+                }
+            }
+            OutputSpec::DfsDir(_) => {
+                // Metadata-only: downstream stages read the cache directory
+                // directly; nothing is copied or re-executed.
+                output_files = entry.output_paths.clone();
+            }
+        }
+        let profile = JobProfile {
+            name: spec.name.clone(),
+            map_concurrency: 1,
+            split_locality: 1.0,
+            ..JobProfile::default()
+        };
+        let cost = self.params.cached_read_cost(cluster, entry.bytes);
+        let io = io_scope.as_ref().map(|s| s.delta());
+        if publish && self.obs.is_enabled() {
+            let hist = history::job_history(&profile, &cost, &self.params, cluster);
+            publish_history(&self.obs, &profile, hist, io.as_ref(), true);
+        }
+        Ok((
+            JobResult {
+                rows,
+                output_files,
+                profile,
+                cost,
+                locality: 1.0,
+                served_from_cache: true,
+                fingerprint: Some(entry.fingerprint),
+            },
+            io,
+        ))
+    }
+
+    /// Persist a finished job's output into the result cache. The catalog
+    /// admits (or refuses) the entry first — evicting LRU entries and
+    /// deleting their backing files — and only an admitted entry's bytes are
+    /// written under `/cache/{fingerprint}/`.
+    fn cache_fill(
+        &self,
+        spec: &JobSpec,
+        fp: u64,
+        splits: &[InputSplit],
+        rows: &[Row],
+        output_files: &[String],
+    ) -> Result<()> {
+        let dir = format!("/cache/{fp:016x}");
+        // Lineage-fingerprinted stages record no input paths: their inputs
+        // are per-run tmp files, and coherence rides the fingerprint chain
+        // (a base-stage change re-fingerprints every downstream stage).
+        let input_paths = if spec.lineage.is_some() {
+            Vec::new()
+        } else {
+            crate::fingerprint::input_paths(splits)
+        };
+        match &spec.output {
+            OutputSpec::Memory => {
+                let payload = rowcodec::write_rows(rows);
+                let path = format!("{dir}/rows.bin");
+                let admitted = self.dfs.cache_insert(CacheEntry {
+                    fingerprint: fp,
+                    output_paths: vec![path.clone()],
+                    bytes: payload.len() as u64,
+                    memory_rows: Some(rows.len() as u64),
+                    input_paths,
+                    last_used: 0,
+                    pinned: false,
+                })?;
+                if admitted {
+                    self.dfs.write_file(&path, None, &payload)?;
+                }
+            }
+            OutputSpec::DfsDir(_) => {
+                let mut paths = Vec::with_capacity(output_files.len());
+                let mut bytes = 0u64;
+                for src in output_files {
+                    let name = src.rsplit('/').next().unwrap_or(src);
+                    paths.push(format!("{dir}/{name}"));
+                    bytes += self.dfs.file_len(src)?;
+                }
+                let admitted = self.dfs.cache_insert(CacheEntry {
+                    fingerprint: fp,
+                    output_paths: paths.clone(),
+                    bytes,
+                    memory_rows: None,
+                    input_paths,
+                    last_used: 0,
+                    pinned: false,
+                })?;
+                if admitted {
+                    for (src, dst) in output_files.iter().zip(&paths) {
+                        let data = self.dfs.read_file(src, None)?;
+                        self.dfs.write_file(dst, None, &data)?;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -841,6 +983,7 @@ pub(crate) fn publish_history(
     profile: &JobProfile,
     mut hist: clyde_common::obs::JobHistory,
     io: Option<&IoSnapshot>,
+    served_from_cache: bool,
 ) {
     if !obs.is_enabled() {
         return;
@@ -935,7 +1078,26 @@ pub(crate) fn publish_history(
         }
         m.histogram_record("mapred.task_wall_ms", t.wall_ns as f64 / 1e6);
     }
-    obs.record_job(hist);
+    // Like the recovery counters: cache.hits only appears when a job was
+    // actually served from the cache, so cache-off runs keep their metric
+    // set byte-identical.
+    let (span_ts_s, span_dur_s) = (hist.t0_s, hist.total_s());
+    let job_ref = obs.record_job(hist);
+    if served_from_cache {
+        m.counter_add("cache.hits", 1);
+        if let Some(j) = job_ref {
+            obs.spans().span(
+                None,
+                SpanKind::Phase,
+                "served-from-cache",
+                j.pid,
+                0,
+                (span_ts_s * 1e6) as u64,
+                (span_dur_s * 1e6) as u64,
+                vec![("job".into(), profile.name.clone())],
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1089,6 +1251,208 @@ mod tests {
         let spec = sum_job(Arc::new(DfsRowsFormat));
         let result = engine.run_job(&spec).unwrap();
         assert_eq!(result.rows, vec![row![55i64]]);
+    }
+
+    // --- Result-cache tests: fingerprint hits must serve byte-identical
+    // output without running any tasks, and coherence must survive input
+    // roll-in/roll-out. ---
+
+    #[test]
+    fn cache_hit_serves_identical_rows_without_tasks() {
+        let dfs = Dfs::for_tests(3);
+        dfs.cache_configure(1 << 20);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let mut spec = sum_job(Arc::new(VecInputFormat::new(rows(), 3)));
+        spec.code_token = "test:sum:v1".into();
+
+        let cold = engine.run_job(&spec).unwrap();
+        assert!(!cold.served_from_cache);
+        assert_eq!(dfs.cache_stats().inserts, 1);
+
+        let warm = engine.run_job(&spec).unwrap();
+        assert!(warm.served_from_cache);
+        assert_eq!(warm.rows, cold.rows);
+        assert!(warm.profile.map_tasks.is_empty());
+        assert!(warm.profile.reduce_tasks.is_empty());
+        assert!(warm.cost.total_s() < cold.cost.total_s());
+        let stats = dfs.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn empty_code_token_bypasses_the_cache() {
+        let dfs = Dfs::for_tests(3);
+        dfs.cache_configure(1 << 20);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let spec = sum_job(Arc::new(VecInputFormat::new(rows(), 3)));
+        engine.run_job(&spec).unwrap();
+        let warm = engine.run_job(&spec).unwrap();
+        assert!(!warm.served_from_cache);
+        let stats = dfs.cache_stats();
+        assert_eq!(stats.inserts, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0, "untokened jobs never probe the cache");
+    }
+
+    #[test]
+    fn cache_disabled_never_serves() {
+        let dfs = Dfs::for_tests(3);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let mut spec = sum_job(Arc::new(VecInputFormat::new(rows(), 3)));
+        spec.code_token = "test:sum:v1".into();
+        engine.run_job(&spec).unwrap();
+        let warm = engine.run_job(&spec).unwrap();
+        assert!(!warm.served_from_cache);
+        assert_eq!(dfs.cache_stats().inserts, 0);
+    }
+
+    #[test]
+    fn input_rollover_invalidates_cached_result() {
+        // The stale-cache hazard: delete + recreate the same input path with
+        // different content (same row count, so lengths can even match) and
+        // the cached result must NOT be served.
+        let dfs = Dfs::for_tests(3);
+        dfs.cache_configure(1 << 20);
+        let engine = Engine::new(Arc::clone(&dfs));
+        dfs.write_file("/in/part-00000", None, &rowcodec::write_rows(&rows()))
+            .unwrap();
+
+        struct DirRows;
+        impl InputFormat for DirRows {
+            fn splits(&self, dfs: &Dfs, _conf: &JobConf) -> Result<Vec<InputSplit>> {
+                crate::formats::RowBinInputFormat::new("/in").splits(dfs, &JobConf::new())
+            }
+            fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
+                crate::formats::RowBinInputFormat::new("/in").open(split, part, io)
+            }
+        }
+
+        let mut spec = sum_job(Arc::new(DirRows));
+        spec.code_token = "test:dirsum:v1".into();
+        assert_eq!(engine.run_job(&spec).unwrap().rows, vec![row![55i64]]);
+        assert!(engine.run_job(&spec).unwrap().served_from_cache);
+
+        // Roll the input over: same path, different rows.
+        dfs.delete("/in/part-00000").unwrap();
+        let swapped: Vec<Row> = (1..=10i64).map(|i| row![i * 2]).collect();
+        dfs.write_file("/in/part-00000", None, &rowcodec::write_rows(&swapped))
+            .unwrap();
+        let after = engine.run_job(&spec).unwrap();
+        assert!(!after.served_from_cache, "rolled-over input must miss");
+        assert_eq!(after.rows, vec![row![110i64]]);
+        assert!(dfs.cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn dfsdir_hit_redirects_output_files_to_cache_paths() {
+        let dfs = Dfs::for_tests(3);
+        dfs.cache_configure(1 << 20);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let mut spec = sum_job(Arc::new(VecInputFormat::new(rows(), 2)));
+        spec.code_token = "test:dirout:v1".into();
+        spec.output = OutputSpec::DfsDir("/out/run-1".into());
+
+        let cold = engine.run_job(&spec).unwrap();
+        spec.output = OutputSpec::DfsDir("/out/run-2".into());
+        let warm = engine.run_job(&spec).unwrap();
+        assert!(warm.served_from_cache);
+        assert_eq!(warm.output_files.len(), cold.output_files.len());
+        for (c, w) in cold.output_files.iter().zip(&warm.output_files) {
+            assert!(w.starts_with("/cache/"), "{w} should be a cache path");
+            assert_eq!(
+                dfs.read_file(w, None).unwrap(),
+                dfs.read_file(c, None).unwrap(),
+                "cached bytes must equal recomputed bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_under_pressure_re_misses_and_recomputes() {
+        let dfs = Dfs::for_tests(3);
+        let engine = Engine::new(Arc::clone(&dfs));
+        let mut a = sum_job(Arc::new(VecInputFormat::new(rows(), 2)));
+        a.code_token = "test:evict:a".into();
+        let mut b = sum_job(Arc::new(VecInputFormat::new(wide_rows(), 2)));
+        b.code_token = "test:evict:b".into();
+
+        // Capacity fits either entry alone but never both: measure the two
+        // payload sizes first, then rebuild with the tight budget.
+        dfs.cache_configure(1 << 20);
+        let ra = engine.run_job(&a).unwrap();
+        let rb = engine.run_job(&b).unwrap();
+        let bytes_a = rowcodec::write_rows(&ra.rows).len() as u64;
+        let bytes_b = rowcodec::write_rows(&rb.rows).len() as u64;
+        let dfs2 = Dfs::for_tests(3);
+        dfs2.cache_configure(bytes_a.max(bytes_b));
+        let engine2 = Engine::new(Arc::clone(&dfs2));
+
+        let first_a = engine2.run_job(&a).unwrap();
+        engine2.run_job(&b).unwrap(); // same size; evicts a
+        assert_eq!(dfs2.cache_stats().evictions, 1);
+        let again_a = engine2.run_job(&a).unwrap();
+        assert!(!again_a.served_from_cache, "evicted entry must re-miss");
+        assert_eq!(again_a.rows, first_a.rows);
+        // After recompute it is cached again and serves.
+        assert!(engine2.run_job(&a).unwrap().served_from_cache);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        /// Coherence under *random* interleavings of replays and
+        /// fact-partition roll-in/roll-out: no schedule of deletes and
+        /// re-creates may ever serve a stale cached result. A replayed sum
+        /// over the fact directory must always reflect exactly the
+        /// partitions live at that moment (the deterministic rollover test
+        /// above pins the single-swap case; this one walks the schedule
+        /// space).
+        #[test]
+        fn random_rollover_interleavings_never_serve_stale(
+            ops in proptest::collection::vec(proptest::prelude::any::<bool>(), 1..24)
+        ) {
+            struct FactsRows;
+            impl InputFormat for FactsRows {
+                fn splits(&self, dfs: &Dfs, _conf: &JobConf) -> Result<Vec<InputSplit>> {
+                    crate::formats::RowBinInputFormat::new("/facts").splits(dfs, &JobConf::new())
+                }
+                fn open(&self, split: &InputSplit, part: usize, io: &TaskIo) -> Result<Reader> {
+                    crate::formats::RowBinInputFormat::new("/facts").open(split, part, io)
+                }
+            }
+
+            let dfs = Dfs::for_tests(3);
+            dfs.cache_configure(1 << 20);
+            let engine = Engine::new(Arc::clone(&dfs));
+            // Partition 0 is the stable fact history (sums to 55);
+            // partition 1 rolls in and out with fresh content each cycle.
+            dfs.write_file("/facts/part-00000", None, &rowcodec::write_rows(&rows()))
+                .unwrap();
+            let mut spec = sum_job(Arc::new(FactsRows));
+            spec.code_token = "test:factsum:v1".into();
+
+            let mut p1_version = 0i64;
+            let mut p1_live = false;
+            for replay in ops {
+                if replay {
+                    let expected = 55 + if p1_live { 100 * p1_version } else { 0 };
+                    let r = engine.run_job(&spec).unwrap();
+                    proptest::prop_assert_eq!(&r.rows, &vec![row![expected]]);
+                } else if p1_live {
+                    dfs.delete("/facts/part-00001").unwrap();
+                    p1_live = false;
+                } else {
+                    p1_version += 1;
+                    dfs.write_file(
+                        "/facts/part-00001",
+                        None,
+                        &rowcodec::write_rows(&[row![100 * p1_version]]),
+                    )
+                    .unwrap();
+                    p1_live = true;
+                }
+            }
+        }
     }
 
     // --- Seeded fault-plan tests: every injected fault must be recovered

@@ -53,6 +53,18 @@ pub struct JobSpec {
     pub max_task_attempts: u32,
     /// Seeded fault plan to run the job under; `None` is the clean path.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Code-identity token for result reuse (`fingerprint` module): a
+    /// versioned string naming the map/reduce functions and every planner
+    /// knob baked into them. Empty (the default) means the job is not
+    /// reusable and bypasses the result cache entirely.
+    pub code_token: String,
+    /// Upstream-stage fingerprint for chained (multi-stage) plans. When set,
+    /// the job's own fingerprint derives from this value *instead of* its
+    /// resolved splits — required because intermediate inputs live in
+    /// per-run tmp directories whose paths never repeat. Coherence rides the
+    /// chain: if the base stage's inputs change, its fingerprint changes,
+    /// and every downstream fingerprint changes with it.
+    pub lineage: Option<u64>,
 }
 
 impl JobSpec {
@@ -77,6 +89,8 @@ impl JobSpec {
             reuse_jvm: true,
             max_task_attempts: 4,
             faults: None,
+            code_token: String::new(),
+            lineage: None,
         }
     }
 }
@@ -360,6 +374,13 @@ pub struct JobResult {
     pub cost: JobCost,
     /// Fraction of scanned bytes read from local replicas.
     pub locality: f64,
+    /// Whether this result was materialized from the DFS result cache
+    /// instead of executing any tasks.
+    pub served_from_cache: bool,
+    /// The job's canonical fingerprint, when it was cacheable (token set
+    /// and cache enabled). Multi-stage planners chain this into the next
+    /// stage's [`JobSpec::lineage`].
+    pub fingerprint: Option<u64>,
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ pub mod cost;
 pub mod distcache;
 pub mod engine;
 pub mod fault;
+pub mod fingerprint;
 pub mod formats;
 pub mod history;
 pub mod input;
@@ -44,6 +45,7 @@ pub use cost::{CostParams, JobCost, TaskCost};
 pub use distcache::DistCache;
 pub use engine::Engine;
 pub use fault::{DatanodeDeath, FaultPlan};
+pub use fingerprint::{job_fingerprint, Fingerprinter};
 pub use history::job_history;
 pub use input::{BlockReader, InputFormat, InputSplit, Reader, RecordReader, SplitSpec};
 pub use job::{

@@ -195,6 +195,7 @@ impl<'e> JobServer<'e> {
         let peak_depth = std::mem::replace(&mut self.peak_depth, 0);
         let cluster = self.engine.dfs().cluster().clone();
         let params = self.engine.params().clone();
+        let cache_before = self.engine.dfs().cache_stats();
 
         // Dense tenant indices in order of first submission.
         let mut tenant_names: Vec<String> = Vec::new();
@@ -251,7 +252,13 @@ impl<'e> JobServer<'e> {
                     sub.arrival_s,
                     sched,
                 );
-                publish_history(self.engine.obs(), &result.profile, hist, io.as_ref());
+                publish_history(
+                    self.engine.obs(),
+                    &result.profile,
+                    hist,
+                    io.as_ref(),
+                    result.served_from_cache,
+                );
             }
             lanes.push(ServedLane {
                 tenant: sub.tenant.clone(),
@@ -268,6 +275,33 @@ impl<'e> JobServer<'e> {
                 finish_s: sched.finish_s,
                 result,
             });
+        }
+
+        // Drain-level result-cache deltas: catalog counters accumulated by
+        // this drain's lookups/fills, emitted only while the cache is
+        // enabled (and, like the recovery counters, only when nonzero) so
+        // cache-off runs keep their metric sets byte-identical. Per-job
+        // `cache.hits` rides with each scheduled history above.
+        if self.engine.dfs().cache_enabled() && self.engine.obs().is_enabled() {
+            let delta = self.engine.dfs().cache_stats().delta_since(&cache_before);
+            let m = self.engine.obs().metrics();
+            if delta.misses > 0 {
+                m.counter_add("cache.misses", delta.misses);
+            }
+            if delta.inserts > 0 {
+                m.counter_add("cache.inserts", delta.inserts);
+            }
+            if delta.evictions > 0 {
+                m.counter_add("cache.evictions", delta.evictions);
+            }
+            if delta.invalidations > 0 {
+                m.counter_add("cache.invalidations", delta.invalidations);
+            }
+            if delta.bytes_served > 0 {
+                m.counter_add("cache.bytes_served", delta.bytes_served);
+            }
+            m.gauge_set("cache.bytes_stored", delta.bytes_stored as f64);
+            m.gauge_set("cache.entries", delta.entries as f64);
         }
 
         let run = ServerRun {
